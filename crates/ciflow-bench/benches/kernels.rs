@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the arithmetic kernels that hybrid key switching
+//! is built from: negacyclic NTT/INTT and RNS basis conversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hemath::basis::BasisConverter;
+use hemath::modulus::Modulus;
+use hemath::ntt::NttTable;
+use hemath::poly::RnsBasis;
+use hemath::primes::generate_ntt_primes;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    for log_n in [12usize, 13, 14] {
+        let n = 1usize << log_n;
+        let q = generate_ntt_primes(50, n, 1, &[]).unwrap()[0];
+        let table = NttTable::new(n, Modulus::new(q).unwrap()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                table.forward(&mut v);
+                v
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                table.inverse(&mut v);
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_basis_conversion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bconv");
+    let n = 1usize << 12;
+    for (source_towers, target_towers) in [(2usize, 3usize), (4, 6), (6, 9)] {
+        let qs = generate_ntt_primes(40, n, source_towers, &[]).unwrap();
+        let ps = generate_ntt_primes(41, n, target_towers, &qs).unwrap();
+        let to_mod = |v: &[u64]| v.iter().map(|&q| Modulus::new(q).unwrap()).collect::<Vec<_>>();
+        let source = Arc::new(RnsBasis::new(n, to_mod(&qs)).unwrap());
+        let target = Arc::new(RnsBasis::new(n, to_mod(&ps)).unwrap());
+        let converter = BasisConverter::new(source.clone(), target);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let towers: Vec<Vec<u64>> = source
+            .moduli()
+            .iter()
+            .map(|m| (0..n).map(|_| rng.gen_range(0..m.value())).collect())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{source_towers}to{target_towers}")),
+            &towers,
+            |b, towers| b.iter(|| converter.convert_towers(towers)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt, bench_basis_conversion);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the functional CKKS operations whose cost the
+//! paper's motivation cites: hybrid key switching, relinearizing
+//! multiplication, and rotation.
+
+use ciflow::functional::output_centric_key_switch;
+use ckks::context::CkksContext;
+use ckks::keys::KeyGenerator;
+use ckks::params::CkksParametersBuilder;
+use ckks::{encrypt::encrypt, ops};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hemath::poly::Representation;
+use hemath::sampler::sample_uniform;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn small_context() -> Arc<CkksContext> {
+    CkksParametersBuilder::new()
+        .ring_degree(1 << 11)
+        .q_tower_bits(vec![50, 40, 40, 40])
+        .p_tower_bits(vec![50, 50])
+        .dnum(2)
+        .scale_bits(40)
+        .build()
+        .map(CkksContext::new)
+        .unwrap()
+        .unwrap()
+}
+
+fn bench_hybrid_key_switch(c: &mut Criterion) {
+    let ctx = small_context();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let keygen = KeyGenerator::new(ctx.clone());
+    let sk = keygen.secret_key(&mut rng);
+    let rlk = keygen.relinearization_key(&mut rng, &sk);
+    let level = ctx.params().max_level();
+    let d = sample_uniform(&mut rng, ctx.basis_q().clone(), Representation::Evaluation);
+    c.bench_function("hybrid_key_switch/reference", |b| {
+        b.iter(|| ckks::keyswitch::hybrid_key_switch(&ctx, &d, level, &rlk))
+    });
+    c.bench_function("hybrid_key_switch/output_centric", |b| {
+        b.iter(|| output_centric_key_switch(&ctx, &d, level, &rlk))
+    });
+}
+
+fn bench_homomorphic_ops(c: &mut Criterion) {
+    let ctx = small_context();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let keygen = KeyGenerator::new(ctx.clone());
+    let sk = keygen.secret_key(&mut rng);
+    let pk = keygen.public_key(&mut rng, &sk);
+    let rlk = keygen.relinearization_key(&mut rng, &sk);
+    let rot = keygen.rotation_key(&mut rng, &sk, 1);
+    let encoder = ckks::encoding::CkksEncoder::new(ctx.params());
+    let msg: Vec<f64> = (0..encoder.slot_count()).map(|i| i as f64 * 1e-3).collect();
+    let pt = encoder.encode_real(&msg, ctx.params().scale(), ctx.basis_q().clone());
+    let ct = encrypt(&ctx, &mut rng, &pk, &pt);
+    c.bench_function("ops/multiply_relinearize", |b| {
+        b.iter(|| ops::multiply(&ctx, &ct, &ct, &rlk).unwrap())
+    });
+    c.bench_function("ops/rotate", |b| {
+        b.iter(|| ops::rotate(&ctx, &ct, 1, &rot).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hybrid_key_switch, bench_homomorphic_ops
+}
+criterion_main!(benches);

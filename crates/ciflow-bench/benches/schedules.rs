@@ -1,0 +1,51 @@
+//! Criterion benchmarks of the CiFlow machinery itself: schedule generation
+//! and task-level simulation for every benchmark and dataflow.
+
+use ciflow::benchmark::HksBenchmark;
+use ciflow::dataflow::Dataflow;
+use ciflow::hks_shape::HksShape;
+use ciflow::schedule::{build_schedule, ScheduleConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpu::{EvkPolicy, RpuConfig, RpuEngine};
+
+fn bench_schedule_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_generation");
+    let config = ScheduleConfig {
+        data_memory_bytes: 32 * rpu::MIB,
+        evk_policy: EvkPolicy::Streamed,
+    };
+    for benchmark in [HksBenchmark::ARK, HksBenchmark::BTS3] {
+        for dataflow in Dataflow::all() {
+            let shape = HksShape::new(benchmark);
+            group.bench_with_input(
+                BenchmarkId::new(benchmark.name, dataflow.short_name()),
+                &shape,
+                |b, shape| b.iter(|| build_schedule(dataflow, shape, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rpu_simulation");
+    let config = ScheduleConfig {
+        data_memory_bytes: 32 * rpu::MIB,
+        evk_policy: EvkPolicy::Streamed,
+    };
+    let engine = RpuEngine::new(RpuConfig::ciflow_streaming());
+    for benchmark in [HksBenchmark::ARK, HksBenchmark::BTS3] {
+        for dataflow in Dataflow::all() {
+            let schedule = build_schedule(dataflow, &HksShape::new(benchmark), &config);
+            group.bench_with_input(
+                BenchmarkId::new(benchmark.name, dataflow.short_name()),
+                &schedule,
+                |b, schedule| b.iter(|| engine.execute(&schedule.graph).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_generation, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates the information content of Figure 1: the stage-by-stage shape
+//! of hybrid key switching for the ℓ = 33, α = 11, dnum = 3 parameter point.
+
+use ciflow::benchmark::HksBenchmark;
+use ciflow::hks_shape::HksShape;
+
+fn main() {
+    let figure1 = HksBenchmark {
+        name: "Figure-1",
+        log_ring_degree: 16,
+        q_towers: 33,
+        p_towers: 11,
+        dnum: 3,
+    };
+    let shape = HksShape::new(figure1);
+    ciflow_bench::section("Figure 1 analogue: HKS stage shapes (ℓ=33, α=11, dnum=3)");
+    println!("input polynomial: N x {} towers", shape.ell());
+    for j in 0..shape.dnum() {
+        println!(
+            "digit {j}: {} towers -> BConv extends to beta = {} towers -> NTT -> apply evk over {} towers",
+            shape.digit_width(j),
+            shape.beta(j),
+            shape.extended()
+        );
+    }
+    println!(
+        "ModUp reduce: {} partial products summed into 2 x N x {} towers",
+        shape.dnum(),
+        shape.extended()
+    );
+    println!(
+        "ModDown: 2 x {} aux towers INTT -> BConv to {} towers -> NTT -> combine",
+        shape.k(),
+        shape.ell()
+    );
+    println!();
+    println!("ModUp operations:   {:>15}", shape.modup_ops());
+    println!("ModDown operations: {:>15}", shape.moddown_ops());
+    println!("Total operations:   {:>15}", shape.total_ops());
+}

@@ -1,0 +1,25 @@
+//! Regenerates Figure 2: high-level ModUp timing diagrams for the three
+//! dataflows (which stages are active when), rendered as ASCII timelines from
+//! the simulator trace of the DPRIVE benchmark.
+
+use ciflow::benchmark::HksBenchmark;
+use ciflow::dataflow::Dataflow;
+use ciflow::runner::HksRun;
+use rpu::RpuConfig;
+
+fn main() {
+    ciflow_bench::section("Figure 2 analogue: per-stage activity timelines (DPRIVE, 12.8 GB/s)");
+    for dataflow in Dataflow::all() {
+        let result = HksRun::new(HksBenchmark::DPRIVE, dataflow)
+            .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(12.8))
+            .execute()
+            .expect("run");
+        println!("\n--- {dataflow} ({}) ---", dataflow.description());
+        print!("{}", result.trace.render_ascii(72));
+        println!(
+            "runtime {:.2} ms, compute idle {:.1}%",
+            result.stats.runtime_ms(),
+            100.0 * result.stats.compute_idle_fraction()
+        );
+    }
+}

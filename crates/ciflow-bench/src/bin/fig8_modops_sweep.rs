@@ -1,0 +1,22 @@
+//! Regenerates Figure 8: ARK runtime under OC at 1x/2x/4x/8x/16x MODOPS
+//! across the bandwidth range, with evks on-chip.
+
+use ciflow::benchmark::HksBenchmark;
+use ciflow::sweep::{modops_sweep, MODOPS_LADDER};
+
+fn main() {
+    let bandwidths = ciflow_bench::extended_bandwidths();
+    let series: Vec<_> = MODOPS_LADDER
+        .iter()
+        .map(|&m| {
+            let mut s = modops_sweep(HksBenchmark::ARK, m, &bandwidths);
+            s.dataflow = "OC";
+            s
+        })
+        .collect();
+    ciflow_bench::section("Figure 8 analogue: ARK OC runtime at different MODOPS (evks on-chip)");
+    println!("columns are 1x, 2x, 4x, 8x, 16x MODOPS");
+    print!("{}", ciflow::report::render_sweep_csv(&series));
+    let (bw, runtime) = ciflow::sweep::ark_saturation_point();
+    println!("\nARK saturation point: {bw} GB/s -> {runtime:.2} ms at 1x MODOPS");
+}

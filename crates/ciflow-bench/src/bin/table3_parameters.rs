@@ -1,0 +1,8 @@
+//! Regenerates Table III: the five benchmark parameter points with their evk
+//! and intermediate-data footprints.
+
+fn main() {
+    ciflow_bench::section("Table III analogue: benchmark parameters (128-bit security points)");
+    let rows = ciflow::analysis::table3_rows();
+    print!("{}", ciflow::report::render_table3(&rows));
+}

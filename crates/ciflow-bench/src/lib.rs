@@ -1,0 +1,72 @@
+//! Shared helpers for the table/figure regenerators.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper.
+//! Run them with `cargo run -p ciflow-bench --release --bin <name>`; they
+//! print markdown tables / CSV series to stdout (and an ASCII sketch of the
+//! figure where applicable).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use ciflow::benchmark::HksBenchmark;
+use ciflow::dataflow::Dataflow;
+use ciflow::sweep::{bandwidth_sweep, SweepSeries};
+use rpu::EvkPolicy;
+
+/// Prints a titled section to stdout.
+pub fn section(title: &str) {
+    println!("\n## {title}\n");
+}
+
+/// The bandwidth points used for the small-range sweeps of Figure 4
+/// (8 GB/s – 64 GB/s, DDR4/DDR5 territory).
+pub fn ddr_bandwidths() -> Vec<f64> {
+    vec![8.0, 12.8, 16.0, 25.6, 32.0, 48.0, 64.0]
+}
+
+/// The extended bandwidth points (up to 1 TB/s, HBM3) used for ARK and BTS3.
+pub fn extended_bandwidths() -> Vec<f64> {
+    vec![8.0, 12.8, 16.0, 25.6, 32.0, 48.0, 64.0, 128.0, 256.0, 512.0, 1024.0]
+}
+
+/// Runs the three dataflows of one benchmark over a bandwidth ladder.
+pub fn sweep_all_dataflows(
+    benchmark: HksBenchmark,
+    bandwidths: &[f64],
+    evk_policy: EvkPolicy,
+) -> Vec<SweepSeries> {
+    Dataflow::all()
+        .into_iter()
+        .map(|d| bandwidth_sweep(benchmark, d, bandwidths, evk_policy, 1.0))
+        .collect()
+}
+
+/// Formats a floating point value with a fixed number of decimals, for table
+/// cells.
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_ladders_are_increasing() {
+        for ladder in [ddr_bandwidths(), extended_bandwidths()] {
+            assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn sweep_all_dataflows_returns_three_series() {
+        let series = sweep_all_dataflows(HksBenchmark::ARK, &[8.0, 64.0], EvkPolicy::OnChip);
+        assert_eq!(series.len(), 3);
+        assert!(series.iter().all(|s| s.points.len() == 2));
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+}

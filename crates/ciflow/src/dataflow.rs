@@ -1,0 +1,102 @@
+//! The CiFlow dataflow taxonomy.
+
+use serde::{Deserialize, Serialize};
+
+/// The three HKS dataflows the paper proposes and compares (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// **Max-Parallel (MP)** — prioritize kernel parallelism at all costs:
+    /// run each stage over *all* towers before starting the next stage.
+    /// Used by prior work (Cheetah, HEAX) and the paper's baseline. Its
+    /// BConv intermediates are enormous, so with a small on-chip memory it
+    /// spills heavily.
+    MaxParallel,
+    /// **Digit-Centric (DC)** — process one digit at a time through all of
+    /// ModUp P1–P5 before moving to the next digit, maximizing reuse of that
+    /// digit's data. Analogous to the dataflow in MAD (MICRO'23).
+    DigitCentric,
+    /// **Output-Centric (OC)** — the paper's proposal: compute one *output
+    /// tower* at a time so the BConv expansion never materializes, keep the
+    /// INTT outputs resident for reuse, and accumulate partial products
+    /// on-chip.
+    OutputCentric,
+}
+
+impl Dataflow {
+    /// All dataflows in the order the paper presents them.
+    pub fn all() -> [Dataflow; 3] {
+        [
+            Dataflow::MaxParallel,
+            Dataflow::DigitCentric,
+            Dataflow::OutputCentric,
+        ]
+    }
+
+    /// The short name used in tables and figures.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Dataflow::MaxParallel => "MP",
+            Dataflow::DigitCentric => "DC",
+            Dataflow::OutputCentric => "OC",
+        }
+    }
+
+    /// A one-sentence description of the scheduling strategy.
+    pub fn description(&self) -> &'static str {
+        match self {
+            Dataflow::MaxParallel => {
+                "stage-by-stage over all towers; maximal parallelism, maximal intermediate state"
+            }
+            Dataflow::DigitCentric => {
+                "one digit at a time through ModUp P1-P5; reuses the loaded digit"
+            }
+            Dataflow::OutputCentric => {
+                "one output tower at a time; compresses the intermediate working set and reuses INTT outputs"
+            }
+        }
+    }
+
+    /// Parses a short or long name.
+    pub fn parse(name: &str) -> Option<Dataflow> {
+        match name.to_ascii_lowercase().as_str() {
+            "mp" | "max-parallel" | "maxparallel" => Some(Dataflow::MaxParallel),
+            "dc" | "digit-centric" | "digitcentric" => Some(Dataflow::DigitCentric),
+            "oc" | "output-centric" | "outputcentric" => Some(Dataflow::OutputCentric),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for d in Dataflow::all() {
+            assert_eq!(Dataflow::parse(d.short_name()), Some(d));
+            assert_eq!(Dataflow::parse(&d.short_name().to_lowercase()), Some(d));
+        }
+        assert_eq!(Dataflow::parse("bogus"), None);
+        assert_eq!(Dataflow::parse("output-centric"), Some(Dataflow::OutputCentric));
+    }
+
+    #[test]
+    fn descriptions_are_distinct() {
+        let set: std::collections::HashSet<_> =
+            Dataflow::all().iter().map(|d| d.description()).collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn display_uses_short_name() {
+        assert_eq!(Dataflow::MaxParallel.to_string(), "MP");
+        assert_eq!(Dataflow::OutputCentric.to_string(), "OC");
+    }
+}

@@ -1,0 +1,64 @@
+//! # ciflow — dataflow analysis and optimization of HE key switching
+//!
+//! A from-scratch reproduction of *"CiFlow: Dataflow Analysis and
+//! Optimization of Key Switching for Homomorphic Encryption"* (ISPASS 2024).
+//!
+//! Hybrid key switching (HKS) dominates the runtime of CKKS homomorphic
+//! encryption. This crate analyzes and optimizes its *dataflow*: the order in
+//! which the ModUp/ModDown stages are executed and which intermediates are
+//! kept in a small on-chip memory, evaluated on a task-level model of the RPU
+//! vector processor.
+//!
+//! The crate provides:
+//!
+//! * [`benchmark`] — the five parameter points of the paper's Table III
+//!   (BTS1-3, ARK, DPRIVE).
+//! * [`hks_shape`] — the per-stage geometry and operation counts of one HKS.
+//! * [`dataflow`] / [`schedule`] — the three dataflows (**Max-Parallel**,
+//!   **Digit-Centric**, **Output-Centric**) as task-graph generators with
+//!   explicit on-chip buffer management and evk streaming.
+//! * [`analysis`] — DRAM traffic, arithmetic intensity and minimum-memory
+//!   analysis (Tables II and III).
+//! * [`runner`] / [`sweep`] — execution on the RPU model and the bandwidth /
+//!   MODOPS / evk-placement sweeps behind Figures 4–9 and Tables IV–V.
+//! * [`report`] — markdown / CSV / ASCII rendering of every table and figure.
+//! * [`functional`] — bit-exact validation that the Output-Centric
+//!   decomposition computes the same function as the reference CKKS key
+//!   switch.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ciflow::benchmark::HksBenchmark;
+//! use ciflow::dataflow::Dataflow;
+//! use ciflow::runner::HksRun;
+//! use rpu::RpuConfig;
+//!
+//! // How long does one ARK hybrid key switch take under the Output-Centric
+//! // dataflow at DDR4-class bandwidth?
+//! let result = HksRun::new(HksBenchmark::ARK, Dataflow::OutputCentric)
+//!     .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(12.8))
+//!     .execute()
+//!     .unwrap();
+//! println!("ARK OC @ 12.8 GB/s: {:.2} ms", result.stats.runtime_ms());
+//! assert!(result.stats.runtime_ms() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod benchmark;
+pub mod dataflow;
+pub mod functional;
+pub mod hks_shape;
+pub mod report;
+pub mod runner;
+pub mod schedule;
+pub mod sweep;
+
+pub use benchmark::HksBenchmark;
+pub use dataflow::Dataflow;
+pub use hks_shape::{HksShape, HksStage};
+pub use runner::{HksRun, HksRunResult};
+pub use schedule::{build_schedule, Schedule, ScheduleConfig};

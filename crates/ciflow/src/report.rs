@@ -1,0 +1,257 @@
+//! Plain-text and CSV rendering of tables and figure series.
+
+use crate::analysis::{ParameterRow, TrafficRow};
+use crate::sweep::{OcBaseRow, SaturationRow, SweepSeries};
+
+/// Renders a markdown table from a header and rows of cells.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for h in header {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in header {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push('|');
+        for cell in row {
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Table II analogue (DRAM traffic and arithmetic intensity).
+pub fn render_table2(rows: &[TrafficRow]) -> String {
+    let mut grouped: Vec<Vec<String>> = Vec::new();
+    let benchmarks: Vec<&str> = {
+        let mut seen = Vec::new();
+        for r in rows {
+            if !seen.contains(&r.benchmark) {
+                seen.push(r.benchmark);
+            }
+        }
+        seen
+    };
+    for bench in benchmarks {
+        let mut cells = vec![bench.to_string()];
+        for dataflow in ["MP", "DC", "OC"] {
+            if let Some(r) = rows
+                .iter()
+                .find(|r| r.benchmark == bench && r.dataflow.short_name() == dataflow)
+            {
+                cells.push(format!("{:.0}", r.dram_mib()));
+                cells.push(format!("{:.2}", r.arithmetic_intensity));
+            } else {
+                cells.push("-".into());
+                cells.push("-".into());
+            }
+        }
+        grouped.push(cells);
+    }
+    markdown_table(
+        &["Benchmark", "MP MiB", "MP AI", "DC MiB", "DC AI", "OC MiB", "OC AI"],
+        &grouped,
+    )
+}
+
+/// Renders the Table III analogue (benchmark parameters).
+pub fn render_table3(rows: &[ParameterRow]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.to_string(),
+                format!("2^{}", r.log_n),
+                r.q_towers.to_string(),
+                r.p_towers.to_string(),
+                r.dnum.to_string(),
+                r.alpha.to_string(),
+                format!("{:.0} MiB", r.evk_mib),
+                format!("{:.0} MiB", r.temp_mib),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &["Benchmark", "N", "k_l", "k_p", "dnum", "alpha", "evk size", "temp data"],
+        &cells,
+    )
+}
+
+/// Renders the Table IV analogue (OCbase bandwidth and speedups).
+pub fn render_table4(rows: &[OcBaseRow]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.to_string(),
+                format!("{:.1}", r.ocbase_gbps),
+                format!("{:.2}x", r.saved_bandwidth),
+                format!("{:.2}", r.oc_ms),
+                format!("{:.2}", r.mp_ms),
+                format!("{:.2}x", r.oc_speedup),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &["Benchmark", "OCbase (GB/s)", "Saved BW", "OC (ms)", "MP (ms)", "OC speedup"],
+        &cells,
+    )
+}
+
+/// Renders the Table V analogue (configurations matching ARK's saturation
+/// point).
+pub fn render_table5(rows: &[SaturationRow]) -> String {
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                format!("{:.2}", r.bandwidth_gbps),
+                format!("{:.2}x", r.modops),
+                format!("{:.2}x", r.relative_bandwidth),
+            ]
+        })
+        .collect();
+    markdown_table(&["Dataflow", "BW (GB/s)", "MODOPS", "Rel. BW"], &cells)
+}
+
+/// Renders one or more sweep series as CSV: one bandwidth column followed by
+/// one runtime column per series.
+///
+/// # Panics
+///
+/// Panics if the series do not share identical bandwidth points.
+pub fn render_sweep_csv(series: &[SweepSeries]) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let mut out = String::from("bandwidth_gbps");
+    for s in series {
+        out.push_str(&format!(
+            ",{}_{}{}",
+            s.benchmark,
+            s.dataflow,
+            if s.evk_streamed { "_streamed" } else { "" }
+        ));
+    }
+    out.push('\n');
+    let reference = &series[0].points;
+    for (i, p) in reference.iter().enumerate() {
+        out.push_str(&format!("{}", p.bandwidth_gbps));
+        for s in series {
+            assert_eq!(
+                s.points[i].bandwidth_gbps, p.bandwidth_gbps,
+                "series must share bandwidth points"
+            );
+            out.push_str(&format!(",{:.4}", s.points[i].runtime_ms));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a sweep as an ASCII chart (log-x bandwidth, linear-y runtime),
+/// handy for eyeballing figure shapes in a terminal.
+pub fn render_sweep_ascii(series: &[SweepSeries], width: usize, height: usize) -> String {
+    if series.is_empty() || series[0].points.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let max_runtime = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.runtime_ms))
+        .fold(0.0f64, f64::max);
+    let mut grid = vec![vec![' '; width]; height];
+    let n_points = series[0].points.len();
+    for (si, s) in series.iter().enumerate() {
+        let marker = char::from(b'A' + (si % 26) as u8);
+        for (i, p) in s.points.iter().enumerate() {
+            let x = if n_points > 1 {
+                i * (width - 1) / (n_points - 1)
+            } else {
+                0
+            };
+            let y = ((p.runtime_ms / max_runtime) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            grid[row][x] = marker;
+        }
+    }
+    let mut out = String::new();
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for (si, s) in series.iter().enumerate() {
+        let marker = char::from(b'A' + (si % 26) as u8);
+        out.push_str(&format!("{marker}: {} {}\n", s.benchmark, s.dataflow));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{table2_rows, table3_rows};
+    use crate::benchmark::HksBenchmark;
+    use crate::dataflow::Dataflow;
+    use crate::sweep::{bandwidth_sweep, SweepPoint};
+    use rpu::EvkPolicy;
+
+    #[test]
+    fn markdown_table_shape() {
+        let table = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("| a |"));
+        assert!(lines[2].contains("| 1 |"));
+    }
+
+    #[test]
+    fn table_renderers_produce_rows_for_all_benchmarks() {
+        let t2 = render_table2(&table2_rows());
+        let t3 = render_table3(&table3_rows());
+        for b in HksBenchmark::all() {
+            assert!(t2.contains(b.name), "table2 missing {}", b.name);
+            assert!(t3.contains(b.name), "table3 missing {}", b.name);
+        }
+    }
+
+    #[test]
+    fn sweep_csv_has_header_and_rows() {
+        let s = bandwidth_sweep(
+            HksBenchmark::ARK,
+            Dataflow::OutputCentric,
+            &[8.0, 16.0],
+            EvkPolicy::OnChip,
+            1.0,
+        );
+        let csv = render_sweep_csv(std::slice::from_ref(&s));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("bandwidth_gbps,ARK_OC"));
+    }
+
+    #[test]
+    fn ascii_chart_contains_markers() {
+        let series = SweepSeries {
+            benchmark: "ARK",
+            dataflow: "OC",
+            evk_streamed: false,
+            modops: 1.0,
+            points: vec![
+                SweepPoint { bandwidth_gbps: 8.0, runtime_ms: 10.0 },
+                SweepPoint { bandwidth_gbps: 64.0, runtime_ms: 2.0 },
+            ],
+        };
+        let chart = render_sweep_ascii(&[series], 20, 5);
+        assert!(chart.contains('A'));
+        assert!(chart.contains("A: ARK OC"));
+    }
+}

@@ -1,0 +1,202 @@
+//! End-to-end execution of one HKS kernel on the RPU model.
+
+use crate::benchmark::HksBenchmark;
+use crate::dataflow::Dataflow;
+use crate::hks_shape::HksShape;
+use crate::schedule::{build_schedule, Schedule, ScheduleConfig};
+use rpu::{EngineError, ExecutionStats, ExecutionTrace, RpuConfig, RpuEngine};
+use serde::Serialize;
+
+/// Everything needed to run one benchmark under one dataflow on one RPU
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct HksRun {
+    /// Which parameter point to run.
+    pub benchmark: HksBenchmark,
+    /// Which dataflow schedules it.
+    pub dataflow: Dataflow,
+    /// The hardware configuration (bandwidth, MODOPS, memories, evk policy).
+    pub rpu: RpuConfig,
+}
+
+/// The outcome of one run.
+#[derive(Debug, Clone)]
+pub struct HksRunResult {
+    /// The run description.
+    pub benchmark: &'static str,
+    /// The dataflow used.
+    pub dataflow: Dataflow,
+    /// Execution statistics (runtime, idle fractions, traffic).
+    pub stats: ExecutionStats,
+    /// Per-task trace (for timing diagrams).
+    pub trace: ExecutionTrace,
+    /// The schedule that was executed.
+    pub schedule: Schedule,
+}
+
+/// Compact, serializable summary of a run (used by the benchmark harnesses).
+#[derive(Debug, Clone, Serialize)]
+pub struct HksRunSummary {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Dataflow short name.
+    pub dataflow: &'static str,
+    /// Off-chip bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// MODOPS multiplier.
+    pub modops: f64,
+    /// Whether evks were streamed.
+    pub evk_streamed: bool,
+    /// Runtime in milliseconds.
+    pub runtime_ms: f64,
+    /// Compute idle fraction.
+    pub compute_idle: f64,
+    /// DRAM traffic in MiB.
+    pub dram_mib: f64,
+    /// Arithmetic intensity in ops/byte.
+    pub arithmetic_intensity: f64,
+}
+
+impl HksRunResult {
+    /// Builds the serializable summary for a given configuration.
+    pub fn summary(&self, rpu: &RpuConfig) -> HksRunSummary {
+        HksRunSummary {
+            benchmark: self.benchmark,
+            dataflow: self.dataflow.short_name(),
+            bandwidth_gbps: rpu.dram_bandwidth_gbps,
+            modops: rpu.modops_multiplier,
+            evk_streamed: rpu.evk_policy == rpu::EvkPolicy::Streamed,
+            runtime_ms: self.stats.runtime_ms(),
+            compute_idle: self.stats.compute_idle_fraction(),
+            dram_mib: self.stats.total_bytes() as f64 / rpu::MIB as f64,
+            arithmetic_intensity: self.stats.arithmetic_intensity(),
+        }
+    }
+}
+
+impl HksRun {
+    /// Creates a run description with the paper's baseline RPU configuration.
+    pub fn new(benchmark: HksBenchmark, dataflow: Dataflow) -> Self {
+        Self {
+            benchmark,
+            dataflow,
+            rpu: RpuConfig::ciflow_baseline(),
+        }
+    }
+
+    /// Replaces the RPU configuration.
+    pub fn with_rpu(mut self, rpu: RpuConfig) -> Self {
+        self.rpu = rpu;
+        self
+    }
+
+    /// Builds the schedule and executes it on the RPU engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] if the schedule cannot be executed (which
+    /// would indicate a generator bug).
+    pub fn execute(&self) -> Result<HksRunResult, EngineError> {
+        let shape = HksShape::new(self.benchmark);
+        let schedule_config = ScheduleConfig {
+            data_memory_bytes: self.rpu.vector_memory_bytes,
+            evk_policy: self.rpu.evk_policy,
+        };
+        let schedule = build_schedule(self.dataflow, &shape, &schedule_config);
+        let engine = RpuEngine::new(self.rpu.clone());
+        let result = engine.execute(&schedule.graph)?;
+        Ok(HksRunResult {
+            benchmark: self.benchmark.name,
+            dataflow: self.dataflow,
+            stats: result.stats,
+            trace: result.trace,
+            schedule,
+        })
+    }
+}
+
+/// Convenience helper: runtime in milliseconds of one benchmark under one
+/// dataflow at the given bandwidth, with all other parameters at the paper's
+/// baseline.
+///
+/// # Panics
+///
+/// Panics if the generated schedule cannot be executed (generator bug).
+pub fn runtime_ms(
+    benchmark: HksBenchmark,
+    dataflow: Dataflow,
+    bandwidth_gbps: f64,
+    evk_policy: rpu::EvkPolicy,
+) -> f64 {
+    let rpu = match evk_policy {
+        rpu::EvkPolicy::OnChip => RpuConfig::ciflow_baseline(),
+        rpu::EvkPolicy::Streamed => RpuConfig::ciflow_streaming(),
+    }
+    .with_bandwidth(bandwidth_gbps);
+    HksRun::new(benchmark, dataflow)
+        .with_rpu(rpu)
+        .execute()
+        .expect("schedule must execute")
+        .stats
+        .runtime_ms()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu::EvkPolicy;
+
+    #[test]
+    fn ark_oc_runs_and_reports_sane_numbers() {
+        let result = HksRun::new(HksBenchmark::ARK, Dataflow::OutputCentric)
+            .execute()
+            .unwrap();
+        assert!(result.stats.runtime_ms() > 0.1);
+        assert!(result.stats.runtime_ms() < 1000.0);
+        assert!(result.stats.total_ops > 0);
+        assert!(!result.trace.records().is_empty());
+        let summary = result.summary(&RpuConfig::ciflow_baseline());
+        assert_eq!(summary.benchmark, "ARK");
+        assert_eq!(summary.dataflow, "OC");
+        assert!(!summary.evk_streamed);
+    }
+
+    #[test]
+    fn oc_beats_mp_at_low_bandwidth() {
+        // The qualitative core of Figure 4: at DDR4-class bandwidth OC is
+        // substantially faster than MP.
+        for benchmark in [HksBenchmark::ARK, HksBenchmark::DPRIVE] {
+            let mp = runtime_ms(benchmark, Dataflow::MaxParallel, 8.0, EvkPolicy::OnChip);
+            let oc = runtime_ms(benchmark, Dataflow::OutputCentric, 8.0, EvkPolicy::OnChip);
+            assert!(
+                oc * 1.5 < mp,
+                "{}: OC {oc:.2} ms vs MP {mp:.2} ms at 8 GB/s",
+                benchmark.name
+            );
+        }
+    }
+
+    #[test]
+    fn dataflows_converge_at_very_high_bandwidth() {
+        // With 1 TB/s the kernel is compute bound and the dataflow no longer
+        // matters much (paper §IV: "with unlimited on-chip memory / high
+        // bandwidth the performance gap decreases significantly").
+        let mp = runtime_ms(HksBenchmark::ARK, Dataflow::MaxParallel, 1000.0, EvkPolicy::OnChip);
+        let oc = runtime_ms(HksBenchmark::ARK, Dataflow::OutputCentric, 1000.0, EvkPolicy::OnChip);
+        let ratio = mp / oc;
+        assert!(
+            (0.8..=1.3).contains(&ratio),
+            "MP {mp:.3} ms vs OC {oc:.3} ms at 1 TB/s (ratio {ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn runtime_decreases_with_bandwidth() {
+        let mut last = f64::INFINITY;
+        for bw in [8.0, 16.0, 32.0, 64.0, 128.0] {
+            let t = runtime_ms(HksBenchmark::DPRIVE, Dataflow::MaxParallel, bw, EvkPolicy::OnChip);
+            assert!(t <= last * 1.0001, "runtime must not increase with bandwidth");
+            last = t;
+        }
+    }
+}

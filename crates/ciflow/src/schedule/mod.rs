@@ -1,0 +1,523 @@
+//! Schedule generation: turning an HKS shape into an RPU task graph under one
+//! of the three dataflows.
+//!
+//! Every generator uses the same [`ScheduleBuilder`], which combines a
+//! [`TaskGraph`] under construction with an [`OnChipTracker`] of the RPU's
+//! data memory. The builder decides, buffer by buffer, whether an
+//! intermediate stays resident (free reuse) or must be spilled to DRAM and
+//! reloaded (extra memory tasks) — exactly the trade-off the paper's
+//! dataflows manage differently.
+
+mod digit_centric;
+mod max_parallel;
+mod output_centric;
+
+pub use digit_centric::build_digit_centric;
+pub use max_parallel::build_max_parallel;
+pub use output_centric::build_output_centric;
+
+use crate::dataflow::Dataflow;
+use crate::hks_shape::{HksShape, HksStage};
+use rpu::{
+    AllocationOutcome, ComputeKind, EvkPolicy, MemoryDirection, OnChipTracker, TaskGraph, TaskId,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Memory-related knobs a schedule is generated against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleConfig {
+    /// Capacity of the on-chip vector data memory in bytes (32 MB in the
+    /// paper's evaluation).
+    pub data_memory_bytes: u64,
+    /// Whether evks are preloaded on-chip or streamed from DRAM.
+    pub evk_policy: EvkPolicy,
+}
+
+impl ScheduleConfig {
+    /// The paper's standard configuration: 32 MB of data memory.
+    pub fn with_data_memory(data_memory_bytes: u64, evk_policy: EvkPolicy) -> Self {
+        Self {
+            data_memory_bytes,
+            evk_policy,
+        }
+    }
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        Self {
+            data_memory_bytes: 32 * rpu::MIB,
+            evk_policy: EvkPolicy::OnChip,
+        }
+    }
+}
+
+/// Summary of a generated schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Which dataflow generated it.
+    pub dataflow: Dataflow,
+    /// The task graph to execute.
+    pub graph: TaskGraph,
+    /// Peak bytes of data memory the schedule keeps resident.
+    pub peak_on_chip_bytes: u64,
+    /// Bytes written to DRAM because an intermediate did not fit.
+    pub spill_bytes: u64,
+}
+
+impl Schedule {
+    /// Total DRAM traffic (loads + stores) in bytes.
+    pub fn dram_bytes(&self) -> u64 {
+        let (l, s) = self.graph.total_bytes();
+        l + s
+    }
+
+    /// Total modular operations.
+    pub fn total_ops(&self) -> u64 {
+        self.graph.total_ops()
+    }
+
+    /// Arithmetic intensity in operations per DRAM byte (Table II metric).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.graph.arithmetic_intensity()
+    }
+
+    /// DRAM traffic broken down by HKS stage label, in bytes. Useful for
+    /// understanding where each dataflow spends its bandwidth.
+    pub fn traffic_by_stage(&self) -> std::collections::BTreeMap<String, u64> {
+        let mut map = std::collections::BTreeMap::new();
+        for task in self.graph.tasks() {
+            if task.is_memory() {
+                *map.entry(task.stage.clone()).or_insert(0) += task.bytes();
+            }
+        }
+        map
+    }
+
+    /// DRAM traffic broken down by buffer kind (evk, input, spill, output),
+    /// in bytes.
+    pub fn traffic_by_kind(&self) -> std::collections::BTreeMap<&'static str, u64> {
+        let mut map = std::collections::BTreeMap::new();
+        for task in self.graph.tasks() {
+            if task.is_memory() {
+                let kind = if task.label.contains("evk") {
+                    "evk"
+                } else if task.label.contains("load in[") {
+                    "input"
+                } else if task.label.starts_with("store out") {
+                    "output"
+                } else {
+                    "intermediate"
+                };
+                *map.entry(kind).or_insert(0) += task.bytes();
+            }
+        }
+        map
+    }
+}
+
+/// Generates the schedule for any dataflow.
+pub fn build_schedule(dataflow: Dataflow, shape: &HksShape, config: &ScheduleConfig) -> Schedule {
+    match dataflow {
+        Dataflow::MaxParallel => build_max_parallel(shape, config),
+        Dataflow::DigitCentric => build_digit_centric(shape, config),
+        Dataflow::OutputCentric => build_output_centric(shape, config),
+    }
+}
+
+/// Where a tracked buffer currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Residence {
+    /// On-chip; the contained task produced or loaded it.
+    OnChip(TaskId),
+    /// In DRAM; the contained task (if any) stored it there. `None` means the
+    /// buffer is an original input that has never been on-chip.
+    InDram(Option<TaskId>),
+}
+
+/// Shared machinery for the three schedule generators.
+pub(crate) struct ScheduleBuilder<'a> {
+    shape: &'a HksShape,
+    config: &'a ScheduleConfig,
+    graph: TaskGraph,
+    tracker: OnChipTracker,
+    buffers: HashMap<String, (Residence, u64)>,
+    spill_bytes: u64,
+}
+
+impl<'a> ScheduleBuilder<'a> {
+    pub(crate) fn new(shape: &'a HksShape, config: &'a ScheduleConfig) -> Self {
+        Self {
+            shape,
+            config,
+            graph: TaskGraph::new(),
+            tracker: OnChipTracker::new(config.data_memory_bytes),
+            buffers: HashMap::new(),
+            spill_bytes: 0,
+        }
+    }
+
+    pub(crate) fn shape(&self) -> &HksShape {
+        self.shape
+    }
+
+    /// Registers an input buffer that starts in DRAM (e.g. the key-switch
+    /// input polynomial towers).
+    pub(crate) fn declare_dram_input(&mut self, name: impl Into<String>, bytes: u64) {
+        self.buffers
+            .insert(name.into(), (Residence::InDram(None), bytes));
+    }
+
+    /// Returns a dependency on `name` being available on-chip, emitting a
+    /// DRAM load if necessary. The buffer becomes resident if it fits;
+    /// otherwise it is treated as streamed (usable by the next task but not
+    /// retained).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer was never declared or produced — that is a
+    /// generator bug.
+    pub(crate) fn acquire(&mut self, name: &str, stage: HksStage) -> TaskId {
+        let (residence, bytes) = *self
+            .buffers
+            .get(name)
+            .unwrap_or_else(|| panic!("buffer {name} used before being declared or produced"));
+        match residence {
+            Residence::OnChip(task) => task,
+            Residence::InDram(source) => {
+                let deps = source.map(|t| vec![t]).unwrap_or_default();
+                let load = self.graph.push_memory(
+                    MemoryDirection::Load,
+                    bytes,
+                    deps,
+                    format!("load {name}"),
+                    stage.label(),
+                );
+                if self.tracker.allocate(name, bytes) == AllocationOutcome::OnChip {
+                    self.buffers
+                        .insert(name.to_string(), (Residence::OnChip(load), bytes));
+                } else {
+                    // Streamed through: remains in DRAM for any later use.
+                    self.buffers
+                        .insert(name.to_string(), (Residence::InDram(source), bytes));
+                }
+                load
+            }
+        }
+    }
+
+    /// Emits a compute task.
+    pub(crate) fn compute(
+        &mut self,
+        kind: ComputeKind,
+        ops: u64,
+        deps: Vec<TaskId>,
+        label: impl Into<String>,
+        stage: HksStage,
+    ) -> TaskId {
+        self.graph.push_compute(kind, ops, deps, label, stage.label())
+    }
+
+    /// Registers a buffer produced by `task`. If it fits on-chip it stays
+    /// resident; otherwise a spill store is emitted and the buffer lives in
+    /// DRAM until re-acquired.
+    pub(crate) fn produce(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        task: TaskId,
+        stage: HksStage,
+    ) {
+        let name = name.into();
+        if self.tracker.allocate(&name, bytes) == AllocationOutcome::OnChip {
+            self.buffers.insert(name, (Residence::OnChip(task), bytes));
+        } else {
+            let store = self.graph.push_memory(
+                MemoryDirection::Store,
+                bytes,
+                vec![task],
+                format!("spill {name}"),
+                stage.label(),
+            );
+            self.spill_bytes += bytes;
+            self.buffers
+                .insert(name, (Residence::InDram(Some(store)), bytes));
+        }
+    }
+
+    /// Releases a buffer whose value is no longer needed, freeing its
+    /// on-chip space (no DRAM traffic).
+    pub(crate) fn release(&mut self, name: &str) {
+        if let Some((Residence::OnChip(_), _)) = self.buffers.get(name) {
+            self.tracker.release(name);
+        }
+        self.buffers.remove(name);
+    }
+
+    /// Evicts a *live* buffer from on-chip memory while preserving its value:
+    /// if it is resident, a spill store is emitted and the buffer is marked
+    /// as living in DRAM so a later [`ScheduleBuilder::acquire`] reloads it.
+    /// No-op if the buffer is already in DRAM or unknown.
+    pub(crate) fn park(&mut self, name: &str, stage: HksStage) {
+        if let Some((Residence::OnChip(task), bytes)) = self.buffers.get(name).copied() {
+            let store = self.graph.push_memory(
+                MemoryDirection::Store,
+                bytes,
+                vec![task],
+                format!("park {name}"),
+                stage.label(),
+            );
+            self.spill_bytes += bytes;
+            self.tracker.release(name);
+            self.buffers
+                .insert(name.to_string(), (Residence::InDram(Some(store)), bytes));
+        }
+    }
+
+    /// True if the named buffer is currently resident on-chip.
+    pub(crate) fn is_resident(&self, name: &str) -> bool {
+        matches!(self.buffers.get(name), Some((Residence::OnChip(_), _)))
+    }
+
+    /// Emits the final store of an output buffer to DRAM.
+    pub(crate) fn store_output(
+        &mut self,
+        name: impl Into<String>,
+        bytes: u64,
+        dep: TaskId,
+        stage: HksStage,
+    ) -> TaskId {
+        self.graph.push_memory(
+            MemoryDirection::Store,
+            bytes,
+            vec![dep],
+            format!("store {}", name.into()),
+            stage.label(),
+        )
+    }
+
+    /// Returns the dependencies required to have the evk towers for digit
+    /// `digit`, extended tower index `tower` available. Under the on-chip
+    /// policy this is free; under the streaming policy it emits a load of the
+    /// `(b, a)` tower pair.
+    pub(crate) fn acquire_evk(&mut self, digit: usize, tower: usize, stage: HksStage) -> Vec<TaskId> {
+        match self.config.evk_policy {
+            EvkPolicy::OnChip => Vec::new(),
+            EvkPolicy::Streamed => {
+                let bytes = self.shape.evk_tower_pair_bytes();
+                let load = self.graph.push_memory(
+                    MemoryDirection::Load,
+                    bytes,
+                    vec![],
+                    format!("load evk[d{digit}][t{tower}]"),
+                    stage.label(),
+                );
+                vec![load]
+            }
+        }
+    }
+
+    /// Finishes the schedule.
+    pub(crate) fn finish(self, dataflow: Dataflow) -> Schedule {
+        Schedule {
+            dataflow,
+            peak_on_chip_bytes: self.tracker.peak(),
+            spill_bytes: self.spill_bytes,
+            graph: self.graph,
+        }
+    }
+}
+
+/// Emits the ModDown phase (shared by the MP and DC generators, which handle
+/// it identically: stage by stage, one output polynomial at a time).
+///
+/// Expects buffers `acc0[t]` / `acc1[t]` (for `t` in `0..ℓ+K`, one tower per
+/// output polynomial) to have been produced already. Emits the final output
+/// stores.
+pub(crate) fn emit_moddown_stagewise(b: &mut ScheduleBuilder<'_>) {
+    let shape = *b.shape();
+    let ell = shape.ell();
+    let k = shape.k();
+    let tower = shape.tower_bytes();
+
+    for poly in 0..2usize {
+        // P1: INTT of the K auxiliary towers of this polynomial.
+        for i in 0..k {
+            let name = format!("acc{poly}[{}]", ell + i);
+            let dep = b.acquire(&name, HksStage::ModDownIntt);
+            let intt = b.compute(
+                ComputeKind::Intt,
+                shape.ntt_ops(),
+                vec![dep],
+                format!("moddown intt c{poly} p-tower {i}"),
+                HksStage::ModDownIntt,
+            );
+            b.release(&name);
+            b.produce(format!("mdintt{poly}[{i}]"), tower, intt, HksStage::ModDownIntt);
+        }
+
+        // P2: BConv from P to the ℓ live towers.
+        let mut scale_deps = Vec::with_capacity(k);
+        for i in 0..k {
+            scale_deps.push(b.acquire(&format!("mdintt{poly}[{i}]"), HksStage::ModDownBconv));
+        }
+        let scale = b.compute(
+            ComputeKind::BasisConversion,
+            shape.bconv_scale_ops(k),
+            scale_deps.clone(),
+            format!("moddown bconv scale c{poly}"),
+            HksStage::ModDownBconv,
+        );
+        for t in 0..ell {
+            let mut deps = scale_deps.clone();
+            deps.push(scale);
+            let slice = b.compute(
+                ComputeKind::BasisConversion,
+                shape.bconv_slice_ops(k),
+                deps,
+                format!("moddown bconv slice c{poly} {t}"),
+                HksStage::ModDownBconv,
+            );
+            b.produce(format!("mdconv{poly}[{t}]"), tower, slice, HksStage::ModDownBconv);
+        }
+
+        // P3: NTT of the converted towers.
+        for t in 0..ell {
+            let dep = b.acquire(&format!("mdconv{poly}[{t}]"), HksStage::ModDownNtt);
+            let ntt = b.compute(
+                ComputeKind::Ntt,
+                shape.ntt_ops(),
+                vec![dep],
+                format!("moddown ntt c{poly} {t}"),
+                HksStage::ModDownNtt,
+            );
+            b.release(&format!("mdconv{poly}[{t}]"));
+            b.produce(format!("mdntt{poly}[{t}]"), tower, ntt, HksStage::ModDownNtt);
+        }
+
+        // P4: subtract, scale by P^{-1}, store the final outputs.
+        for t in 0..ell {
+            let acc_dep = b.acquire(&format!("acc{poly}[{t}]"), HksStage::ModDownCombine);
+            let ntt_dep = b.acquire(&format!("mdntt{poly}[{t}]"), HksStage::ModDownCombine);
+            let combine = b.compute(
+                ComputeKind::ScalarMul,
+                2 * shape.pointwise_ops(),
+                vec![acc_dep, ntt_dep],
+                format!("moddown combine c{poly} {t}"),
+                HksStage::ModDownCombine,
+            );
+            b.release(&format!("acc{poly}[{t}]"));
+            b.release(&format!("mdntt{poly}[{t}]"));
+            b.store_output(format!("out{poly}[{t}]"), tower, combine, HksStage::ModDownCombine);
+        }
+        // Release this polynomial's ModDown scratch.
+        for i in 0..k {
+            b.release(&format!("mdintt{poly}[{i}]"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::HksBenchmark;
+
+    #[test]
+    fn all_dataflows_charge_identical_compute_work() {
+        // "The number of operations per HKS benchmark is independent of
+        // dataflow" (paper §IV-D).
+        for bench in HksBenchmark::all() {
+            let shape = HksShape::new(bench);
+            let config = ScheduleConfig::default();
+            let expected = shape.total_ops();
+            for dataflow in Dataflow::all() {
+                let schedule = build_schedule(dataflow, &shape, &config);
+                assert_eq!(
+                    schedule.total_ops(),
+                    expected,
+                    "{} {dataflow}: op count diverges from the shape model",
+                    bench.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_centric_moves_least_data() {
+        // Table II ordering: OC < DC <= MP for every benchmark when evks are
+        // streamed with 32 MB of data memory.
+        let config = ScheduleConfig {
+            data_memory_bytes: 32 * rpu::MIB,
+            evk_policy: EvkPolicy::Streamed,
+        };
+        for bench in HksBenchmark::all() {
+            let shape = HksShape::new(bench);
+            let mp = build_schedule(Dataflow::MaxParallel, &shape, &config).dram_bytes();
+            let dc = build_schedule(Dataflow::DigitCentric, &shape, &config).dram_bytes();
+            let oc = build_schedule(Dataflow::OutputCentric, &shape, &config).dram_bytes();
+            assert!(oc < dc, "{}: OC ({oc}) must move less than DC ({dc})", bench.name);
+            assert!(dc <= mp, "{}: DC ({dc}) must move at most MP ({mp})", bench.name);
+        }
+    }
+
+    #[test]
+    fn schedules_execute_without_deadlock() {
+        let config = ScheduleConfig {
+            data_memory_bytes: 32 * rpu::MIB,
+            evk_policy: EvkPolicy::Streamed,
+        };
+        let engine = rpu::RpuEngine::new(rpu::RpuConfig::ciflow_baseline());
+        for bench in [HksBenchmark::ARK, HksBenchmark::DPRIVE] {
+            let shape = HksShape::new(bench);
+            for dataflow in Dataflow::all() {
+                let schedule = build_schedule(dataflow, &shape, &config);
+                let result = engine.execute(&schedule.graph).expect("schedule must execute");
+                assert!(result.stats.runtime_seconds > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_memory_eliminates_spills() {
+        // With effectively unlimited on-chip memory no dataflow spills, and
+        // DRAM traffic reduces to input + output (+ evk when streamed).
+        let config = ScheduleConfig {
+            data_memory_bytes: u64::MAX / 4,
+            evk_policy: EvkPolicy::Streamed,
+        };
+        let shape = HksShape::new(HksBenchmark::ARK);
+        for dataflow in Dataflow::all() {
+            let schedule = build_schedule(dataflow, &shape, &config);
+            assert_eq!(schedule.spill_bytes, 0, "{dataflow}");
+            let expected = shape.input_bytes() + shape.output_bytes() + shape.evk_bytes();
+            assert_eq!(schedule.dram_bytes(), expected, "{dataflow}");
+        }
+    }
+
+    #[test]
+    fn on_chip_evk_policy_removes_key_traffic() {
+        let shape = HksShape::new(HksBenchmark::ARK);
+        let streamed = build_schedule(
+            Dataflow::OutputCentric,
+            &shape,
+            &ScheduleConfig {
+                data_memory_bytes: 32 * rpu::MIB,
+                evk_policy: EvkPolicy::Streamed,
+            },
+        );
+        let on_chip = build_schedule(
+            Dataflow::OutputCentric,
+            &shape,
+            &ScheduleConfig {
+                data_memory_bytes: 32 * rpu::MIB,
+                evk_policy: EvkPolicy::OnChip,
+            },
+        );
+        assert_eq!(
+            streamed.dram_bytes() - on_chip.dram_bytes(),
+            shape.evk_bytes(),
+            "the traffic difference must be exactly the evk size"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Ciphertext and related value types.
+
+use hemath::poly::RnsPolynomial;
+
+/// A CKKS ciphertext: a pair of polynomials over the live `Q` towers,
+/// together with the encoding scale and current level.
+///
+/// The ciphertext decrypts as `c0 + c1·s ≈ Δ·m (mod Q_ℓ)`.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    /// The `b`-like component (contains the message).
+    pub c0: RnsPolynomial,
+    /// The `a`-like component.
+    pub c1: RnsPolynomial,
+    /// Current encoding scale.
+    pub scale: f64,
+    /// Current multiplicative level `ℓ` (the ciphertext has `ℓ + 1` towers).
+    pub level: usize,
+}
+
+impl Ciphertext {
+    /// Number of live towers (`ℓ + 1`).
+    pub fn tower_count(&self) -> usize {
+        self.c0.tower_count()
+    }
+
+    /// Ring degree `N`.
+    pub fn ring_degree(&self) -> usize {
+        self.c0.degree()
+    }
+
+    /// Total size in bytes of the two polynomials at 8 bytes per residue,
+    /// the unit used throughout the CiFlow memory model.
+    pub fn byte_size(&self) -> u64 {
+        self.c0.byte_size() + self.c1.byte_size()
+    }
+}
+
+/// The three-component ciphertext produced by a homomorphic multiplication
+/// before relinearization. The `d2` component is encrypted under `s^2` and is
+/// the input to hybrid key switching.
+#[derive(Debug, Clone)]
+pub struct TripleCiphertext {
+    /// Constant component.
+    pub d0: RnsPolynomial,
+    /// `s` component.
+    pub d1: RnsPolynomial,
+    /// `s^2` component (to be key-switched).
+    pub d2: RnsPolynomial,
+    /// Scale of the product (product of the operand scales).
+    pub scale: f64,
+    /// Level of the product.
+    pub level: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemath::modulus::Modulus;
+    use hemath::poly::{Representation, RnsBasis};
+    use hemath::primes::generate_ntt_primes;
+    use std::sync::Arc;
+
+    #[test]
+    fn byte_size_counts_both_components() {
+        let n = 64;
+        let primes = generate_ntt_primes(40, n, 3, &[]).unwrap();
+        let moduli = primes.into_iter().map(|q| Modulus::new(q).unwrap()).collect();
+        let basis = Arc::new(RnsBasis::new(n, moduli).unwrap());
+        let ct = Ciphertext {
+            c0: RnsPolynomial::zero(basis.clone(), Representation::Evaluation),
+            c1: RnsPolynomial::zero(basis, Representation::Evaluation),
+            scale: 2f64.powi(40),
+            level: 2,
+        };
+        assert_eq!(ct.tower_count(), 3);
+        assert_eq!(ct.ring_degree(), 64);
+        assert_eq!(ct.byte_size(), 2 * 64 * 3 * 8);
+    }
+}

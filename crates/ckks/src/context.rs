@@ -1,0 +1,288 @@
+//! Precomputed context shared by all CKKS operations.
+//!
+//! The context owns the RNS bases for `Q`, `P` and `Q ∪ P`, the per-level
+//! basis-conversion tables used by hybrid key switching, and the scalar
+//! constants (`P mod q_i`, `P^{-1} mod q_i`, rescaling inverses) that the
+//! ModDown and rescale steps need.
+
+use crate::params::CkksParameters;
+use hemath::basis::BasisConverter;
+use hemath::modulus::Modulus;
+use hemath::poly::RnsBasis;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Shared, immutable CKKS context.
+///
+/// # Examples
+///
+/// ```
+/// use ckks::{context::CkksContext, params::CkksParametersBuilder};
+///
+/// let params = CkksParametersBuilder::new()
+///     .ring_degree(1 << 8)
+///     .q_tower_bits(vec![45, 36, 36])
+///     .p_tower_bits(vec![45])
+///     .dnum(3)
+///     .build()
+///     .unwrap();
+/// let ctx = CkksContext::new(params).unwrap();
+/// assert_eq!(ctx.basis_q().tower_count(), 3);
+/// assert_eq!(ctx.basis_qp().tower_count(), 4);
+/// ```
+#[derive(Debug)]
+pub struct CkksContext {
+    params: CkksParameters,
+    basis_q: Arc<RnsBasis>,
+    basis_p: Arc<RnsBasis>,
+    basis_qp: Arc<RnsBasis>,
+    /// `P mod q_i` for every `Q` tower.
+    p_mod_q: Vec<u64>,
+    /// `P^{-1} mod q_i` for every `Q` tower.
+    p_inv_mod_q: Vec<u64>,
+    /// Cache of ModUp converters keyed by `(digit, level)`.
+    modup_converters: Mutex<HashMap<(usize, usize), Arc<BasisConverter>>>,
+    /// Cache of ModDown converters (from `P` to the first `level+1` `Q`
+    /// towers) keyed by `level`.
+    moddown_converters: Mutex<HashMap<usize, Arc<BasisConverter>>>,
+}
+
+/// Errors raised while building a [`CkksContext`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContextError {
+    /// One of the moduli could not support the NTT for the ring degree.
+    Basis(String),
+}
+
+impl std::fmt::Display for ContextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContextError::Basis(msg) => write!(f, "failed to build RNS basis: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ContextError {}
+
+impl CkksContext {
+    /// Builds the context: NTT tables for every modulus and the scalar
+    /// constants used by ModDown and rescaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ContextError::Basis`] when a modulus cannot support the
+    /// negacyclic NTT (which would indicate a bug in prime generation).
+    pub fn new(params: CkksParameters) -> Result<Arc<Self>, ContextError> {
+        let n = params.ring_degree();
+        let to_moduli = |vals: &[u64]| -> Result<Vec<Modulus>, ContextError> {
+            vals.iter()
+                .map(|&q| Modulus::new(q).map_err(|e| ContextError::Basis(e.to_string())))
+                .collect()
+        };
+        let q_moduli = to_moduli(params.q_moduli())?;
+        let p_moduli = to_moduli(params.p_moduli())?;
+        let basis_q = Arc::new(
+            RnsBasis::new(n, q_moduli.clone()).map_err(|e| ContextError::Basis(e.to_string()))?,
+        );
+        let basis_p = Arc::new(
+            RnsBasis::new(n, p_moduli.clone()).map_err(|e| ContextError::Basis(e.to_string()))?,
+        );
+        let basis_qp = Arc::new(basis_q.concat(&basis_p));
+
+        let p_mod_q: Vec<u64> = q_moduli
+            .iter()
+            .map(|qi| {
+                params
+                    .p_moduli()
+                    .iter()
+                    .fold(1u64, |acc, &p| qi.mul(acc, qi.reduce(p)))
+            })
+            .collect();
+        let p_inv_mod_q: Vec<u64> = q_moduli
+            .iter()
+            .zip(&p_mod_q)
+            .map(|(qi, &pm)| qi.inv(pm))
+            .collect();
+
+        Ok(Arc::new(Self {
+            params,
+            basis_q,
+            basis_p,
+            basis_qp,
+            p_mod_q,
+            p_inv_mod_q,
+            modup_converters: Mutex::new(HashMap::new()),
+            moddown_converters: Mutex::new(HashMap::new()),
+        }))
+    }
+
+    /// The parameter set this context was built from.
+    pub fn params(&self) -> &CkksParameters {
+        &self.params
+    }
+
+    /// The full `Q` basis (all `L + 1` towers).
+    pub fn basis_q(&self) -> &Arc<RnsBasis> {
+        &self.basis_q
+    }
+
+    /// The auxiliary `P` basis (`K` towers).
+    pub fn basis_p(&self) -> &Arc<RnsBasis> {
+        &self.basis_p
+    }
+
+    /// The concatenated `Q ∪ P` basis.
+    pub fn basis_qp(&self) -> &Arc<RnsBasis> {
+        &self.basis_qp
+    }
+
+    /// The `Q` basis truncated to `level + 1` towers.
+    pub fn basis_q_at_level(&self, level: usize) -> Arc<RnsBasis> {
+        assert!(level <= self.params.max_level());
+        if level == self.params.max_level() {
+            self.basis_q.clone()
+        } else {
+            let indices: Vec<usize> = (0..=level).collect();
+            Arc::new(self.basis_q.subset(&indices))
+        }
+    }
+
+    /// The extended basis at a level: the first `level + 1` towers of `Q`
+    /// followed by all `P` towers.
+    pub fn basis_qp_at_level(&self, level: usize) -> Arc<RnsBasis> {
+        if level == self.params.max_level() {
+            self.basis_qp.clone()
+        } else {
+            Arc::new(self.basis_q_at_level(level).concat(&self.basis_p))
+        }
+    }
+
+    /// `P mod q_i` for each `Q` tower.
+    pub fn p_mod_q(&self) -> &[u64] {
+        &self.p_mod_q
+    }
+
+    /// `P^{-1} mod q_i` for each `Q` tower.
+    pub fn p_inv_mod_q(&self) -> &[u64] {
+        &self.p_inv_mod_q
+    }
+
+    /// The ModUp basis converter for digit `j` at ciphertext level `level`:
+    /// converts the digit's towers into *all other* live `Q` towers plus the
+    /// `P` towers.
+    ///
+    /// The converter is built lazily and cached; repeated key switches reuse
+    /// the tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the digit is empty at this level.
+    pub fn modup_converter(&self, digit: usize, level: usize) -> Arc<BasisConverter> {
+        let key = (digit, level);
+        if let Some(c) = self.modup_converters.lock().unwrap().get(&key) {
+            return c.clone();
+        }
+        let range = self.params.digit_towers(digit, level);
+        assert!(!range.is_empty(), "digit {digit} is empty at level {level}");
+        let digit_indices: Vec<usize> = range.clone().collect();
+        let complement: Vec<usize> = (0..=level).filter(|i| !range.contains(i)).collect();
+        let source = Arc::new(self.basis_q.subset(&digit_indices));
+        let target_q = self.basis_q.subset(&complement);
+        let target = Arc::new(target_q.concat(&self.basis_p));
+        let converter = Arc::new(BasisConverter::new(source, target));
+        self.modup_converters
+            .lock()
+            .unwrap()
+            .insert(key, converter.clone());
+        converter
+    }
+
+    /// The ModDown basis converter at ciphertext level `level`: converts the
+    /// `P` towers into the first `level + 1` `Q` towers.
+    pub fn moddown_converter(&self, level: usize) -> Arc<BasisConverter> {
+        if let Some(c) = self.moddown_converters.lock().unwrap().get(&level) {
+            return c.clone();
+        }
+        let source = self.basis_p.clone();
+        let target = self.basis_q_at_level(level);
+        let converter = Arc::new(BasisConverter::new(source, target));
+        self.moddown_converters
+            .lock()
+            .unwrap()
+            .insert(level, converter.clone());
+        converter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CkksParametersBuilder;
+
+    fn ctx() -> Arc<CkksContext> {
+        let params = CkksParametersBuilder::new()
+            .ring_degree(1 << 8)
+            .q_tower_bits(vec![45, 36, 36, 36, 36, 36])
+            .p_tower_bits(vec![45, 45])
+            .dnum(3)
+            .scale_bits(36)
+            .build()
+            .unwrap();
+        CkksContext::new(params).unwrap()
+    }
+
+    #[test]
+    fn bases_have_expected_sizes() {
+        let c = ctx();
+        assert_eq!(c.basis_q().tower_count(), 6);
+        assert_eq!(c.basis_p().tower_count(), 2);
+        assert_eq!(c.basis_qp().tower_count(), 8);
+        assert_eq!(c.basis_q_at_level(2).tower_count(), 3);
+        assert_eq!(c.basis_qp_at_level(2).tower_count(), 5);
+    }
+
+    #[test]
+    fn p_constants_are_consistent() {
+        let c = ctx();
+        for (i, qi) in c.basis_q().moduli().iter().enumerate() {
+            let prod = c.p_mod_q()[i];
+            let inv = c.p_inv_mod_q()[i];
+            assert_eq!(qi.mul(prod, inv), 1);
+        }
+    }
+
+    #[test]
+    fn modup_converter_shapes() {
+        let c = ctx();
+        let level = c.params().max_level();
+        for digit in 0..c.params().dnum() {
+            let conv = c.modup_converter(digit, level);
+            let alpha = c.params().digit_towers(digit, level).len();
+            assert_eq!(conv.source().tower_count(), alpha);
+            // target = (level+1 - alpha) live Q towers + K P towers = beta
+            assert_eq!(
+                conv.target().tower_count(),
+                level + 1 - alpha + c.params().aux_tower_count()
+            );
+        }
+    }
+
+    #[test]
+    fn converters_are_cached() {
+        let c = ctx();
+        let a = c.modup_converter(0, c.params().max_level());
+        let b = c.modup_converter(0, c.params().max_level());
+        assert!(Arc::ptr_eq(&a, &b));
+        let d1 = c.moddown_converter(3);
+        let d2 = c.moddown_converter(3);
+        assert!(Arc::ptr_eq(&d1, &d2));
+    }
+
+    #[test]
+    fn moddown_converter_targets_live_towers() {
+        let c = ctx();
+        let conv = c.moddown_converter(2);
+        assert_eq!(conv.source().tower_count(), 2);
+        assert_eq!(conv.target().tower_count(), 3);
+    }
+}

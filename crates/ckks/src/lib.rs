@@ -1,0 +1,72 @@
+//! # ckks — functional RNS-CKKS with hybrid key switching
+//!
+//! This crate implements the RNS variant of the CKKS approximate homomorphic
+//! encryption scheme, with exactly the structure the CiFlow paper analyzes:
+//!
+//! * [`params`] / [`context`] — parameter sets (`N`, the `Q` and `P` RNS
+//!   chains, `dnum`, `α`) and the shared precomputed context.
+//! * [`encoding`] — canonical-embedding encoding of complex vectors.
+//! * [`keys`] — secret/public keys and hybrid key-switching keys (`evk`s with
+//!   `dnum` digits over `Q·P`).
+//! * [`encrypt`] — encryption and decryption.
+//! * [`keyswitch`] — the hybrid key-switching reference: ModUp (P1–P5) and
+//!   ModDown (P1–P4) staged exactly as in the paper's Figure 1.
+//! * [`ops`] — homomorphic add/multiply/rescale/rotate; multiplication and
+//!   rotation each invoke one hybrid key switch.
+//!
+//! The crate is a *functional* implementation used to define the semantics of
+//! every HKS stage; the `ciflow` crate reschedules those stages under the
+//! Max-Parallel, Digit-Centric and Output-Centric dataflows and checks that
+//! all of them compute this same function.
+//!
+//! ## Example
+//!
+//! ```
+//! use ckks::params::CkksParametersBuilder;
+//! use ckks::context::CkksContext;
+//! use ckks::encoding::CkksEncoder;
+//! use ckks::keys::KeyGenerator;
+//! use ckks::{encrypt::{encrypt, decrypt}, ops};
+//! use rand::SeedableRng;
+//!
+//! let params = CkksParametersBuilder::new()
+//!     .ring_degree(1 << 8)
+//!     .q_tower_bits(vec![50, 40, 40])
+//!     .p_tower_bits(vec![50])
+//!     .dnum(3)
+//!     .scale_bits(40)
+//!     .build()
+//!     .unwrap();
+//! let ctx = CkksContext::new(params).unwrap();
+//! let encoder = CkksEncoder::new(ctx.params());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let keygen = KeyGenerator::new(ctx.clone());
+//! let sk = keygen.secret_key(&mut rng);
+//! let pk = keygen.public_key(&mut rng, &sk);
+//!
+//! let message = vec![1.0, 2.0, 3.0];
+//! let pt = encoder.encode_real(&message, ctx.params().scale(), ctx.basis_q().clone());
+//! let ct = encrypt(&ctx, &mut rng, &pk, &pt);
+//! let doubled = ops::add(&ct, &ct).unwrap();
+//! let decoded = encoder.decode(&decrypt(&ctx, &sk, &doubled));
+//! assert!((decoded[1].re - 4.0).abs() < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ciphertext;
+pub mod context;
+pub mod encoding;
+pub mod encrypt;
+pub mod galois;
+pub mod keys;
+pub mod keyswitch;
+pub mod ops;
+pub mod params;
+
+pub use ciphertext::{Ciphertext, TripleCiphertext};
+pub use context::CkksContext;
+pub use encoding::{CkksEncoder, Complex, Plaintext};
+pub use keys::{EvaluationKey, EvaluationKeyKind, KeyGenerator, PublicKey, SecretKey};
+pub use params::{CkksParameters, CkksParametersBuilder};

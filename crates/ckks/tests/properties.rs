@@ -1,0 +1,116 @@
+//! Property-based tests of the CKKS scheme: homomorphism laws and
+//! encode/decode stability for arbitrary messages.
+
+use ckks::context::CkksContext;
+use ckks::encoding::{CkksEncoder, Complex};
+use ckks::encrypt::{decrypt, encrypt};
+use ckks::keys::KeyGenerator;
+use ckks::ops;
+use ckks::params::CkksParametersBuilder;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn context() -> Arc<CkksContext> {
+    CkksParametersBuilder::new()
+        .ring_degree(1 << 8)
+        .q_tower_bits(vec![50, 40, 40])
+        .p_tower_bits(vec![50, 50])
+        .dnum(2)
+        .scale_bits(40)
+        .build()
+        .map(CkksContext::new)
+        .unwrap()
+        .unwrap()
+}
+
+fn max_error(expected: &[Complex], actual: &[Complex]) -> f64 {
+    expected
+        .iter()
+        .zip(actual)
+        .map(|(e, a)| e.distance(*a))
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    // Each case runs key generation and several HE operations, so keep the
+    // case count modest; the message contents are the interesting variable.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn encode_decode_is_stable_for_bounded_messages(
+        values in proptest::collection::vec(-100.0f64..100.0, 1..128),
+    ) {
+        let ctx = context();
+        let encoder = CkksEncoder::new(ctx.params());
+        let pt = encoder.encode_real(&values, ctx.params().scale(), ctx.basis_q().clone());
+        let decoded = encoder.decode(&pt);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert!((decoded[i].re - v).abs() < 1e-4, "slot {i}: {} vs {v}", decoded[i].re);
+            prop_assert!(decoded[i].im.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn encryption_is_additively_homomorphic(
+        seed in any::<u64>(),
+        scale_a in 0.1f64..2.0,
+        scale_b in -2.0f64..-0.1,
+    ) {
+        let ctx = context();
+        let encoder = CkksEncoder::new(ctx.params());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let pk = keygen.public_key(&mut rng, &sk);
+        let slots = encoder.slot_count();
+        let a: Vec<f64> = (0..slots).map(|i| scale_a * (i as f64 * 0.1).sin()).collect();
+        let b: Vec<f64> = (0..slots).map(|i| scale_b * (i as f64 * 0.07).cos()).collect();
+        let ct_a = encrypt(&ctx, &mut rng, &pk, &encoder.encode_real(&a, ctx.params().scale(), ctx.basis_q().clone()));
+        let ct_b = encrypt(&ctx, &mut rng, &pk, &encoder.encode_real(&b, ctx.params().scale(), ctx.basis_q().clone()));
+        let sum = ops::add(&ct_a, &ct_b).unwrap();
+        let decoded = encoder.decode(&decrypt(&ctx, &sk, &sum));
+        let expected: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| Complex::new(x + y, 0.0)).collect();
+        prop_assert!(max_error(&expected, &decoded) < 1e-3);
+    }
+
+    #[test]
+    fn multiplication_then_rescale_tracks_products(seed in any::<u64>()) {
+        let ctx = context();
+        let encoder = CkksEncoder::new(ctx.params());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let pk = keygen.public_key(&mut rng, &sk);
+        let rlk = keygen.relinearization_key(&mut rng, &sk);
+        let slots = encoder.slot_count();
+        let a: Vec<f64> = (0..slots).map(|i| ((i as f64 + seed as f64 % 17.0) * 0.05).sin()).collect();
+        let b: Vec<f64> = (0..slots).map(|i| 0.5 + (i % 3) as f64 * 0.1).collect();
+        let ct_a = encrypt(&ctx, &mut rng, &pk, &encoder.encode_real(&a, ctx.params().scale(), ctx.basis_q().clone()));
+        let ct_b = encrypt(&ctx, &mut rng, &pk, &encoder.encode_real(&b, ctx.params().scale(), ctx.basis_q().clone()));
+        let product = ops::rescale(&ctx, &ops::multiply(&ctx, &ct_a, &ct_b, &rlk).unwrap()).unwrap();
+        let decoded = encoder.decode(&decrypt(&ctx, &sk, &product));
+        let expected: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| Complex::new(x * y, 0.0)).collect();
+        prop_assert!(max_error(&expected, &decoded) < 2e-2);
+    }
+
+    #[test]
+    fn rotation_permutes_slots_for_arbitrary_steps(steps in 1i64..32) {
+        let ctx = context();
+        let encoder = CkksEncoder::new(ctx.params());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(steps as u64);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let pk = keygen.public_key(&mut rng, &sk);
+        let rot_key = keygen.rotation_key(&mut rng, &sk, steps);
+        let slots = encoder.slot_count();
+        let msg: Vec<f64> = (0..slots).map(|i| (i as f64 * 0.01) - 0.6).collect();
+        let ct = encrypt(&ctx, &mut rng, &pk, &encoder.encode_real(&msg, ctx.params().scale(), ctx.basis_q().clone()));
+        let rotated = ops::rotate(&ctx, &ct, steps, &rot_key).unwrap();
+        let decoded = encoder.decode(&decrypt(&ctx, &sk, &rotated));
+        let expected: Vec<Complex> = (0..slots)
+            .map(|i| Complex::new(msg[(i + steps as usize) % slots], 0.0))
+            .collect();
+        prop_assert!(max_error(&expected, &decoded) < 1e-3);
+    }
+}

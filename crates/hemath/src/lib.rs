@@ -1,0 +1,65 @@
+//! # hemath — RNS and modular arithmetic substrate
+//!
+//! `hemath` provides the number-theoretic building blocks on which the
+//! `ckks` scheme crate and the CiFlow dataflow analysis are built:
+//!
+//! * [`modulus::Modulus`] — word-sized prime moduli with Barrett and Shoup
+//!   multiplication.
+//! * [`primes`] — deterministic Miller–Rabin and NTT-friendly prime
+//!   generation.
+//! * [`ntt::NttTable`] — negacyclic number-theoretic transforms over
+//!   `Z_q[X]/(X^N + 1)`.
+//! * [`poly::RnsPolynomial`] — residue-number-system polynomials (the
+//!   `N × ℓ` tower matrices the CiFlow paper schedules).
+//! * [`basis::BasisConverter`] — the fast RNS basis conversion (`BConv`)
+//!   kernel used by hybrid key switching.
+//! * [`sampler`] — uniform / ternary / centred-binomial samplers.
+//! * [`bigint::UBig`] — a minimal big integer for exact CRT verification.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hemath::{modulus::Modulus, ntt::NttTable, primes::generate_ntt_primes};
+//!
+//! let n = 1 << 10;
+//! let q = generate_ntt_primes(45, n, 1, &[]).unwrap()[0];
+//! let table = NttTable::new(n, Modulus::new(q).unwrap()).unwrap();
+//! let mut poly = vec![1u64; n];
+//! table.forward(&mut poly);
+//! table.inverse(&mut poly);
+//! assert_eq!(poly, vec![1u64; n]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod basis;
+pub mod bigint;
+pub mod modulus;
+pub mod ntt;
+pub mod poly;
+pub mod primes;
+pub mod sampler;
+
+pub use basis::BasisConverter;
+pub use bigint::UBig;
+pub use modulus::Modulus;
+pub use ntt::NttTable;
+pub use poly::{Representation, RnsBasis, RnsPolynomial};
+
+#[cfg(test)]
+mod send_sync_tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn core_types_are_send_and_sync() {
+        assert_send_sync::<Modulus>();
+        assert_send_sync::<NttTable>();
+        assert_send_sync::<RnsBasis>();
+        assert_send_sync::<RnsPolynomial>();
+        assert_send_sync::<BasisConverter>();
+        assert_send_sync::<UBig>();
+    }
+}

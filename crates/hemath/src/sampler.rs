@@ -1,0 +1,158 @@
+//! Randomness used by the CKKS scheme: uniform ring elements, ternary secret
+//! keys and centred-binomial error polynomials.
+//!
+//! The samplers are deliberately deterministic given an RNG so that the test
+//! suite and the benchmark harness are reproducible.
+
+use crate::poly::{Representation, RnsBasis, RnsPolynomial};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Samples a polynomial with every residue uniform in `[0, q_i)`.
+///
+/// Uniform polynomials are the `a` component of public keys, evaluation keys
+/// and fresh ciphertexts.
+pub fn sample_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    basis: Arc<RnsBasis>,
+    representation: Representation,
+) -> RnsPolynomial {
+    let n = basis.degree();
+    let towers = basis
+        .moduli()
+        .iter()
+        .map(|m| (0..n).map(|_| rng.gen_range(0..m.value())).collect())
+        .collect();
+    RnsPolynomial::from_towers(basis, towers, representation)
+}
+
+/// Samples a ternary polynomial with coefficients in `{-1, 0, 1}`.
+///
+/// `hamming_weight = None` gives each coefficient independently uniform over
+/// the three values; `Some(h)` produces exactly `h` non-zero coefficients
+/// (sparse ternary secrets, as used by several of the accelerator parameter
+/// sets the paper benchmarks).
+pub fn sample_ternary<R: Rng + ?Sized>(
+    rng: &mut R,
+    basis: Arc<RnsBasis>,
+    hamming_weight: Option<usize>,
+) -> RnsPolynomial {
+    let n = basis.degree();
+    let mut coeffs = vec![0i64; n];
+    match hamming_weight {
+        None => {
+            for c in coeffs.iter_mut() {
+                *c = rng.gen_range(-1..=1);
+            }
+        }
+        Some(h) => {
+            assert!(h <= n, "hamming weight cannot exceed the ring degree");
+            let mut placed = 0usize;
+            while placed < h {
+                let idx = rng.gen_range(0..n);
+                if coeffs[idx] == 0 {
+                    coeffs[idx] = if rng.gen_bool(0.5) { 1 } else { -1 };
+                    placed += 1;
+                }
+            }
+        }
+    }
+    RnsPolynomial::from_signed_coefficients(basis, &coeffs)
+}
+
+/// Samples an error polynomial from a centred binomial distribution with the
+/// given `eta` (sum of `eta` coin differences), a standard discrete-Gaussian
+/// surrogate with standard deviation `sqrt(eta/2)`.
+pub fn sample_error<R: Rng + ?Sized>(
+    rng: &mut R,
+    basis: Arc<RnsBasis>,
+    eta: u32,
+) -> RnsPolynomial {
+    let n = basis.degree();
+    let coeffs: Vec<i64> = (0..n)
+        .map(|_| {
+            let mut acc = 0i64;
+            for _ in 0..eta {
+                acc += rng.gen_range(0..2) as i64 - rng.gen_range(0..2) as i64;
+            }
+            acc
+        })
+        .collect();
+    RnsPolynomial::from_signed_coefficients(basis, &coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulus::Modulus;
+    use crate::primes::generate_ntt_primes;
+    use rand::SeedableRng;
+
+    fn basis(n: usize, towers: usize) -> Arc<RnsBasis> {
+        let primes = generate_ntt_primes(40, n, towers, &[]).unwrap();
+        let moduli = primes.into_iter().map(|q| Modulus::new(q).unwrap()).collect();
+        Arc::new(RnsBasis::new(n, moduli).unwrap())
+    }
+
+    #[test]
+    fn uniform_sample_is_reduced_and_nonconstant() {
+        let b = basis(256, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = sample_uniform(&mut rng, b.clone(), Representation::Coefficient);
+        for (m, tower) in p.iter() {
+            assert!(tower.iter().all(|&x| x < m.value()));
+            let first = tower[0];
+            assert!(tower.iter().any(|&x| x != first), "uniform sample looks constant");
+        }
+    }
+
+    #[test]
+    fn ternary_dense_values_are_ternary() {
+        let b = basis(128, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let p = sample_ternary(&mut rng, b.clone(), None);
+        for (m, tower) in p.iter() {
+            for &x in tower {
+                assert!(x == 0 || x == 1 || x == m.value() - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ternary_sparse_respects_hamming_weight() {
+        let b = basis(128, 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let h = 32;
+        let p = sample_ternary(&mut rng, b.clone(), Some(h));
+        let nonzero = p.tower(0).iter().filter(|&&x| x != 0).count();
+        assert_eq!(nonzero, h);
+    }
+
+    #[test]
+    fn error_sample_is_small_and_centred() {
+        let b = basis(1024, 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let eta = 8;
+        let p = sample_error(&mut rng, b.clone(), eta);
+        let q = b.moduli()[0].value();
+        let mut sum = 0i64;
+        for &x in p.tower(0) {
+            let signed = if x > q / 2 { x as i64 - q as i64 } else { x as i64 };
+            assert!(signed.unsigned_abs() <= eta as u64, "error coefficient too large");
+            sum += signed;
+        }
+        // Mean should be close to zero: |mean| well below one sigma.
+        let mean = sum as f64 / 1024.0;
+        assert!(mean.abs() < 0.5, "error distribution looks biased: mean={mean}");
+    }
+
+    #[test]
+    fn samplers_are_deterministic_per_seed() {
+        let b = basis(64, 2);
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(42);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(42);
+        let p1 = sample_uniform(&mut r1, b.clone(), Representation::Evaluation);
+        let p2 = sample_uniform(&mut r2, b.clone(), Representation::Evaluation);
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,191 @@
+//! RPU hardware configuration.
+//!
+//! The RPU (Ring Processing Unit, ISPASS'23) is a vector processor for
+//! ring-LWE workloads. The CiFlow paper evaluates its dataflows on an RPU
+//! configuration with 128 HPLEs (high-performance large-arithmetic-word
+//! engines), a 1 K-element vector length ("B1K" ISA), a 1.7 GHz clock and a
+//! 32 MB on-chip vector data memory, sweeping the off-chip bandwidth and the
+//! computational throughput (MODOPS).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of bytes in one mebibyte — on-chip SRAM capacities in the paper are
+/// quoted in binary megabytes.
+pub const MIB: u64 = 1024 * 1024;
+
+/// Policy for where evaluation keys live during a key switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EvkPolicy {
+    /// All evks are preloaded into a dedicated on-chip key memory before the
+    /// kernel starts (the paper's 392 MB configuration: 32 MB data + 360 MB
+    /// keys).
+    OnChip,
+    /// Evks are streamed from DRAM as they are needed, sharing the off-chip
+    /// bandwidth with data traffic; only the 32 MB data memory remains
+    /// on-chip.
+    Streamed,
+}
+
+impl std::fmt::Display for EvkPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvkPolicy::OnChip => write!(f, "evk-on-chip"),
+            EvkPolicy::Streamed => write!(f, "evk-streamed"),
+        }
+    }
+}
+
+/// Full configuration of a simulated RPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpuConfig {
+    /// Number of HPLE lanes (modular multipliers); the paper uses 128.
+    pub num_hples: usize,
+    /// Vector length in elements (the modified "B1K" ISA uses 1024).
+    pub vector_length: usize,
+    /// Core clock in GHz (1.7 for the RPU).
+    pub clock_ghz: f64,
+    /// On-chip vector data memory in bytes (32 MB in the paper).
+    pub vector_memory_bytes: u64,
+    /// On-chip key memory in bytes (360 MB when evks are preloaded, 0 when
+    /// streamed).
+    pub key_memory_bytes: u64,
+    /// On-chip scalar memory in bytes (1 MB; not performance-critical).
+    pub scalar_memory_bytes: u64,
+    /// Off-chip DRAM bandwidth in GB/s (decimal gigabytes).
+    pub dram_bandwidth_gbps: f64,
+    /// Computational-throughput multiplier relative to the 128-HPLE baseline
+    /// (the paper's 1×/2×/4×/8×/16× MODOPS sweep).
+    pub modops_multiplier: f64,
+    /// Where evaluation keys live.
+    pub evk_policy: EvkPolicy,
+}
+
+impl Default for RpuConfig {
+    fn default() -> Self {
+        Self::ciflow_baseline()
+    }
+}
+
+impl RpuConfig {
+    /// The configuration used throughout the CiFlow evaluation: 128 HPLEs,
+    /// B1K vectors, 1.7 GHz, 32 MB data memory, 64 GB/s DDR5-class bandwidth
+    /// and evks preloaded into a 360 MB key memory.
+    pub fn ciflow_baseline() -> Self {
+        Self {
+            num_hples: 128,
+            vector_length: 1024,
+            clock_ghz: 1.7,
+            vector_memory_bytes: 32 * MIB,
+            key_memory_bytes: 360 * MIB,
+            scalar_memory_bytes: MIB,
+            dram_bandwidth_gbps: 64.0,
+            modops_multiplier: 1.0,
+            evk_policy: EvkPolicy::OnChip,
+        }
+    }
+
+    /// Baseline with the evks streamed from DRAM instead of preloaded
+    /// (32 MB total on-chip SRAM — the 12.25× SRAM reduction configuration).
+    pub fn ciflow_streaming() -> Self {
+        Self {
+            key_memory_bytes: 0,
+            evk_policy: EvkPolicy::Streamed,
+            ..Self::ciflow_baseline()
+        }
+    }
+
+    /// Returns a copy with a different off-chip bandwidth.
+    pub fn with_bandwidth(mut self, gbps: f64) -> Self {
+        self.dram_bandwidth_gbps = gbps;
+        self
+    }
+
+    /// Returns a copy with a different MODOPS multiplier.
+    pub fn with_modops(mut self, multiplier: f64) -> Self {
+        self.modops_multiplier = multiplier;
+        self
+    }
+
+    /// Returns a copy with a different vector data memory capacity.
+    pub fn with_vector_memory(mut self, bytes: u64) -> Self {
+        self.vector_memory_bytes = bytes;
+        self
+    }
+
+    /// Peak modular operations per second (MODOPS): one modular multiply per
+    /// HPLE per cycle, scaled by the MODOPS multiplier.
+    pub fn modops_per_second(&self) -> f64 {
+        self.num_hples as f64 * self.clock_ghz * 1e9 * self.modops_multiplier
+    }
+
+    /// Off-chip bandwidth in bytes per second (decimal GB).
+    pub fn dram_bytes_per_second(&self) -> f64 {
+        self.dram_bandwidth_gbps * 1e9
+    }
+
+    /// Total on-chip SRAM (vector data + key + scalar memories) in bytes.
+    pub fn total_sram_bytes(&self) -> u64 {
+        self.vector_memory_bytes + self.key_memory_bytes + self.scalar_memory_bytes
+    }
+
+    /// Estimated die area in mm² of the on-chip memories plus compute, using
+    /// the paper's figures: the 392 MB configuration occupies 401.85 mm² and
+    /// the 32 MB streaming configuration 41.85 mm², i.e. roughly 1 mm² per MB
+    /// of SRAM on top of a ~9.5 mm² compute/frontend floor.
+    pub fn estimated_area_mm2(&self) -> f64 {
+        const AREA_PER_MIB: f64 = 1.0;
+        const COMPUTE_FLOOR: f64 = 9.85;
+        let sram_mib = (self.vector_memory_bytes + self.key_memory_bytes) as f64 / MIB as f64;
+        COMPUTE_FLOOR + sram_mib * AREA_PER_MIB * self.modops_multiplier.max(1.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_paper_configuration() {
+        let c = RpuConfig::ciflow_baseline();
+        assert_eq!(c.num_hples, 128);
+        assert_eq!(c.vector_length, 1024);
+        assert_eq!(c.vector_memory_bytes, 32 * MIB);
+        assert_eq!(c.key_memory_bytes, 360 * MIB);
+        assert!((c.clock_ghz - 1.7).abs() < 1e-9);
+        assert_eq!(c.evk_policy, EvkPolicy::OnChip);
+        // 128 lanes at 1.7 GHz = 217.6 G modops/s.
+        assert!((c.modops_per_second() - 217.6e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn streaming_configuration_drops_key_memory() {
+        let c = RpuConfig::ciflow_streaming();
+        assert_eq!(c.key_memory_bytes, 0);
+        assert_eq!(c.evk_policy, EvkPolicy::Streamed);
+        // 392 MB -> 32 MB is the paper's 12.25x SRAM saving.
+        let on_chip = RpuConfig::ciflow_baseline();
+        let ratio = (on_chip.vector_memory_bytes + on_chip.key_memory_bytes) as f64
+            / (c.vector_memory_bytes + c.key_memory_bytes) as f64;
+        assert!((ratio - 12.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_builders_update_fields() {
+        let c = RpuConfig::ciflow_baseline()
+            .with_bandwidth(12.8)
+            .with_modops(2.0)
+            .with_vector_memory(64 * MIB);
+        assert!((c.dram_bandwidth_gbps - 12.8).abs() < 1e-9);
+        assert!((c.modops_per_second() - 2.0 * 217.6e9).abs() < 1e6);
+        assert_eq!(c.vector_memory_bytes, 64 * MIB);
+        assert!((c.dram_bytes_per_second() - 12.8e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn area_model_matches_paper_endpoints() {
+        let big = RpuConfig::ciflow_baseline();
+        let small = RpuConfig::ciflow_streaming();
+        assert!((big.estimated_area_mm2() - 401.85).abs() < 1.0);
+        assert!((small.estimated_area_mm2() - 41.85).abs() < 1.0);
+    }
+}

@@ -1,0 +1,331 @@
+//! The decoupled execution engine.
+//!
+//! The RPU fetches compute and memory instructions through separate queues
+//! and overlaps DRAM transfers with computation whenever dependencies allow
+//! (paper §V-A/§V-C). The engine models exactly that: the task graph is split
+//! into an in-order *compute* queue and an in-order *memory* queue; the head
+//! of each queue starts as soon as its dependencies have completed, and the
+//! two heads may execute concurrently. Because FHE is data-oblivious, all of
+//! this is known statically and the model needs no speculation.
+//!
+//! Task durations come from the configuration: a compute task of `ops`
+//! modular operations takes `ops / MODOPS` seconds; a memory task of `bytes`
+//! takes `bytes / bandwidth` seconds.
+
+use crate::config::RpuConfig;
+use crate::stats::ExecutionStats;
+use crate::task::{Task, TaskGraph, TaskId, TaskKind};
+use crate::trace::{EngineQueue, ExecutionTrace, TaskRecord};
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Neither queue head can make progress: the schedule has a cross-queue
+    /// ordering cycle (a generator bug).
+    Deadlock {
+        /// Task at the head of the compute queue, if any.
+        compute_head: Option<TaskId>,
+        /// Task at the head of the memory queue, if any.
+        memory_head: Option<TaskId>,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Deadlock {
+                compute_head,
+                memory_head,
+            } => write!(
+                f,
+                "schedule deadlock: compute head {compute_head:?}, memory head {memory_head:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result of one execution: aggregate statistics plus the per-task trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Aggregate statistics.
+    pub stats: ExecutionStats,
+    /// Per-task start/end records.
+    pub trace: ExecutionTrace,
+}
+
+/// The task-level RPU simulator.
+#[derive(Debug, Clone)]
+pub struct RpuEngine {
+    config: RpuConfig,
+}
+
+impl RpuEngine {
+    /// Creates an engine for a configuration.
+    pub fn new(config: RpuConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RpuConfig {
+        &self.config
+    }
+
+    /// Duration of a single task under this configuration, in seconds.
+    pub fn task_duration(&self, task: &Task) -> f64 {
+        match task.kind {
+            TaskKind::Compute { ops, .. } => ops as f64 / self.config.modops_per_second(),
+            TaskKind::Memory { bytes, .. } => bytes as f64 / self.config.dram_bytes_per_second(),
+        }
+    }
+
+    /// Executes a task graph and returns runtime statistics and a trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Deadlock`] if the two in-order queues block each
+    /// other, which indicates an invalid schedule.
+    pub fn execute(&self, graph: &TaskGraph) -> Result<RunResult, EngineError> {
+        let tasks = graph.tasks();
+        let compute_queue: Vec<TaskId> = tasks.iter().filter(|t| t.is_compute()).map(|t| t.id).collect();
+        let memory_queue: Vec<TaskId> = tasks.iter().filter(|t| t.is_memory()).map(|t| t.id).collect();
+
+        let mut finish = vec![f64::NAN; tasks.len()];
+        let mut trace = ExecutionTrace::new();
+        let mut stats = ExecutionStats {
+            compute_tasks: compute_queue.len(),
+            memory_tasks: memory_queue.len(),
+            total_ops: graph.total_ops(),
+            ..ExecutionStats::default()
+        };
+        let (loaded, stored) = graph.total_bytes();
+        stats.bytes_loaded = loaded;
+        stats.bytes_stored = stored;
+
+        let mut ci = 0usize; // compute queue index
+        let mut mi = 0usize; // memory queue index
+        let mut compute_free_at = 0.0f64;
+        let mut memory_free_at = 0.0f64;
+
+        let deps_ready = |task: &Task, finish: &[f64]| -> Option<f64> {
+            let mut ready = 0.0f64;
+            for &d in &task.dependencies {
+                let f = finish[d];
+                if f.is_nan() {
+                    return None;
+                }
+                ready = ready.max(f);
+            }
+            Some(ready)
+        };
+
+        while ci < compute_queue.len() || mi < memory_queue.len() {
+            let mut progressed = false;
+
+            // Try to issue the head of the memory queue first (prefetching is
+            // what lets the RPU hide latency), then the compute head. Both
+            // can be issued in the same iteration; they overlap in time.
+            if mi < memory_queue.len() {
+                let task = &tasks[memory_queue[mi]];
+                if let Some(dep_ready) = deps_ready(task, &finish) {
+                    let start = dep_ready.max(memory_free_at);
+                    let end = start + self.task_duration(task);
+                    finish[task.id] = end;
+                    memory_free_at = end;
+                    stats.memory_busy_seconds += end - start;
+                    trace.push(TaskRecord {
+                        task: task.id,
+                        queue: EngineQueue::Memory,
+                        start_seconds: start,
+                        end_seconds: end,
+                        label: task.label.clone(),
+                        stage: task.stage.clone(),
+                    });
+                    mi += 1;
+                    progressed = true;
+                }
+            }
+
+            if ci < compute_queue.len() {
+                let task = &tasks[compute_queue[ci]];
+                if let Some(dep_ready) = deps_ready(task, &finish) {
+                    let start = dep_ready.max(compute_free_at);
+                    let end = start + self.task_duration(task);
+                    finish[task.id] = end;
+                    compute_free_at = end;
+                    stats.compute_busy_seconds += end - start;
+                    trace.push(TaskRecord {
+                        task: task.id,
+                        queue: EngineQueue::Compute,
+                        start_seconds: start,
+                        end_seconds: end,
+                        label: task.label.clone(),
+                        stage: task.stage.clone(),
+                    });
+                    ci += 1;
+                    progressed = true;
+                }
+            }
+
+            if !progressed {
+                return Err(EngineError::Deadlock {
+                    compute_head: compute_queue.get(ci).copied(),
+                    memory_head: memory_queue.get(mi).copied(),
+                });
+            }
+        }
+
+        stats.runtime_seconds = finish
+            .iter()
+            .filter(|f| !f.is_nan())
+            .fold(0.0f64, |acc, &f| acc.max(f));
+        Ok(RunResult { stats, trace })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RpuConfig;
+    use crate::task::{ComputeKind, MemoryDirection, TaskGraph};
+
+    /// A configuration with round numbers: 1 Gop/s compute, 1 GB/s memory.
+    fn unit_config() -> RpuConfig {
+        RpuConfig {
+            num_hples: 1,
+            vector_length: 1,
+            clock_ghz: 1.0,
+            vector_memory_bytes: 1 << 30,
+            key_memory_bytes: 0,
+            scalar_memory_bytes: 0,
+            dram_bandwidth_gbps: 1.0,
+            modops_multiplier: 1.0,
+            evk_policy: crate::config::EvkPolicy::Streamed,
+        }
+    }
+
+    #[test]
+    fn independent_compute_and_memory_overlap() {
+        // 1e9 ops (1 s) and 1e9 bytes (1 s) with no dependency: runtime 1 s.
+        let mut g = TaskGraph::new();
+        g.push_compute(ComputeKind::Ntt, 1_000_000_000, vec![], "ntt", "P1");
+        g.push_memory(MemoryDirection::Load, 1_000_000_000, vec![], "load", "P1");
+        let result = RpuEngine::new(unit_config()).execute(&g).unwrap();
+        assert!((result.stats.runtime_seconds - 1.0).abs() < 1e-9);
+        assert!((result.stats.compute_busy_seconds - 1.0).abs() < 1e-9);
+        assert!((result.stats.memory_busy_seconds - 1.0).abs() < 1e-9);
+        assert!(result.stats.compute_idle_fraction() < 1e-9);
+    }
+
+    #[test]
+    fn dependent_tasks_serialize() {
+        // Load (1 s) then compute (1 s) depending on it: runtime 2 s, compute
+        // idle 50%.
+        let mut g = TaskGraph::new();
+        let load = g.push_memory(MemoryDirection::Load, 1_000_000_000, vec![], "load", "P1");
+        g.push_compute(ComputeKind::Ntt, 1_000_000_000, vec![load], "ntt", "P1");
+        let result = RpuEngine::new(unit_config()).execute(&g).unwrap();
+        assert!((result.stats.runtime_seconds - 2.0).abs() < 1e-9);
+        assert!((result.stats.compute_idle_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_order_queues_respect_program_order() {
+        // Two memory tasks: the second is independent but must wait for the
+        // first (in-order queue), so memory time is 2 s even though only the
+        // first is needed by the compute task.
+        let mut g = TaskGraph::new();
+        let load1 = g.push_memory(MemoryDirection::Load, 1_000_000_000, vec![], "load1", "P1");
+        g.push_memory(MemoryDirection::Store, 1_000_000_000, vec![], "store2", "P1");
+        g.push_compute(ComputeKind::Ntt, 500_000_000, vec![load1], "ntt", "P1");
+        let result = RpuEngine::new(unit_config()).execute(&g).unwrap();
+        // Memory channel: 0-1 load, 1-2 store. Compute: 1-1.5.
+        assert!((result.stats.runtime_seconds - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doubling_bandwidth_halves_memory_bound_runtime() {
+        let mut g = TaskGraph::new();
+        let load = g.push_memory(MemoryDirection::Load, 2_000_000_000, vec![], "load", "P1");
+        g.push_compute(ComputeKind::Ntt, 100_000_000, vec![load], "ntt", "P1");
+        let slow = RpuEngine::new(unit_config()).execute(&g).unwrap();
+        let fast = RpuEngine::new(unit_config().with_bandwidth(2.0)).execute(&g).unwrap();
+        assert!(slow.stats.runtime_seconds > 1.9);
+        assert!(fast.stats.runtime_seconds < 1.2);
+    }
+
+    #[test]
+    fn doubling_modops_halves_compute_bound_runtime() {
+        let mut g = TaskGraph::new();
+        g.push_compute(ComputeKind::Ntt, 2_000_000_000, vec![], "ntt", "P1");
+        let slow = RpuEngine::new(unit_config()).execute(&g).unwrap();
+        let fast = RpuEngine::new(unit_config().with_modops(2.0)).execute(&g).unwrap();
+        assert!((slow.stats.runtime_seconds - 2.0).abs() < 1e-9);
+        assert!((fast.stats.runtime_seconds - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_records_every_task() {
+        let mut g = TaskGraph::new();
+        let a = g.push_memory(MemoryDirection::Load, 10, vec![], "load", "P1");
+        let b = g.push_compute(ComputeKind::Intt, 10, vec![a], "intt", "P1");
+        g.push_memory(MemoryDirection::Store, 10, vec![b], "store", "P5");
+        let result = RpuEngine::new(unit_config()).execute(&g).unwrap();
+        assert_eq!(result.trace.records().len(), 3);
+        let spans = result.trace.stage_spans();
+        assert_eq!(spans.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_runs_in_zero_time() {
+        let g = TaskGraph::new();
+        let result = RpuEngine::new(unit_config()).execute(&g).unwrap();
+        assert_eq!(result.stats.runtime_seconds, 0.0);
+        assert!(result.trace.records().is_empty());
+    }
+
+    #[test]
+    fn cross_queue_priority_inversion_is_reported_as_deadlock() {
+        // Compute head depends on the *second* memory task while the first
+        // memory task depends on the compute head: no head can start.
+        use crate::task::{Task, TaskKind};
+        let tasks = vec![
+            Task {
+                id: 0,
+                kind: TaskKind::Compute {
+                    kind: ComputeKind::Ntt,
+                    ops: 10,
+                },
+                dependencies: vec![],
+                label: "c".into(),
+                stage: "P1".into(),
+            },
+            Task {
+                id: 1,
+                kind: TaskKind::Memory {
+                    direction: MemoryDirection::Load,
+                    bytes: 10,
+                },
+                dependencies: vec![2],
+                label: "m1".into(),
+                stage: "P1".into(),
+            },
+            Task {
+                id: 2,
+                kind: TaskKind::Memory {
+                    direction: MemoryDirection::Load,
+                    bytes: 10,
+                },
+                dependencies: vec![],
+                label: "m2".into(),
+                stage: "P1".into(),
+            },
+        ];
+        // Build without validation helper: dependency 2 comes after 1 in
+        // program order, which from_tasks rejects; construct the graph
+        // manually through push to mimic a buggy generator is not possible,
+        // so assert the validator catches it instead.
+        assert!(TaskGraph::from_tasks(tasks).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! The B1K vector instruction set and its cost model.
+//!
+//! The RPU's ISA (originally "B512", widened to 1 K-element vectors for the
+//! CiFlow evaluation and referred to as "B1K") contains 28 instructions
+//! spanning general point-wise modular arithmetic, HE-specific shuffles for
+//! the (i)NTT butterflies, and scalar/control/memory operations. The
+//! simulator does not execute the instructions bit-exactly; it uses this
+//! module's per-instruction modular-operation counts to convert kernel shapes
+//! into cycle costs, which is the granularity at which the paper's evaluation
+//! operates.
+
+use serde::{Deserialize, Serialize};
+
+/// Functional class of an instruction, matching the RPU's three decoupled
+/// issue queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstructionClass {
+    /// Executed by the HPLE compute pipeline.
+    Compute,
+    /// Executed by the shuffle crossbar pipeline.
+    Shuffle,
+    /// Executed by the load/store unit.
+    Memory,
+    /// Executed by the scalar front-end.
+    Scalar,
+}
+
+/// The 28 instructions of the B1K ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum B1kInstruction {
+    // Point-wise vector modular arithmetic (compute pipe).
+    VAddMod,
+    VSubMod,
+    VMulMod,
+    VMacMod,
+    VNegMod,
+    VScalarMulMod,
+    VScalarAddMod,
+    VMulConstShoup,
+    // NTT support (compute + shuffle pipes).
+    VButterflyCt,
+    VButterflyGs,
+    VTwiddleMul,
+    VBitRevShuffle,
+    VStrideShuffle,
+    VSliceRotate,
+    VPackLo,
+    VPackHi,
+    // Basis conversion / accumulation helpers.
+    VAccumulate,
+    VDotScalar,
+    VReduceBarrett,
+    VCenterLift,
+    // Memory instructions.
+    VLoad,
+    VStore,
+    VLoadKey,
+    VPrefetch,
+    // Scalar / control.
+    SLoadImm,
+    SAddrGen,
+    SModSwap,
+    SBranch,
+}
+
+impl B1kInstruction {
+    /// All 28 instructions, in a stable order.
+    pub fn all() -> [B1kInstruction; 28] {
+        use B1kInstruction::*;
+        [
+            VAddMod, VSubMod, VMulMod, VMacMod, VNegMod, VScalarMulMod, VScalarAddMod,
+            VMulConstShoup, VButterflyCt, VButterflyGs, VTwiddleMul, VBitRevShuffle,
+            VStrideShuffle, VSliceRotate, VPackLo, VPackHi, VAccumulate, VDotScalar,
+            VReduceBarrett, VCenterLift, VLoad, VStore, VLoadKey, VPrefetch, SLoadImm, SAddrGen,
+            SModSwap, SBranch,
+        ]
+    }
+
+    /// Which pipeline executes the instruction.
+    pub fn class(&self) -> InstructionClass {
+        use B1kInstruction::*;
+        match self {
+            VAddMod | VSubMod | VMulMod | VMacMod | VNegMod | VScalarMulMod | VScalarAddMod
+            | VMulConstShoup | VButterflyCt | VButterflyGs | VTwiddleMul | VAccumulate
+            | VDotScalar | VReduceBarrett | VCenterLift => InstructionClass::Compute,
+            VBitRevShuffle | VStrideShuffle | VSliceRotate | VPackLo | VPackHi => {
+                InstructionClass::Shuffle
+            }
+            VLoad | VStore | VLoadKey | VPrefetch => InstructionClass::Memory,
+            SLoadImm | SAddrGen | SModSwap | SBranch => InstructionClass::Scalar,
+        }
+    }
+
+    /// Modular operations performed per vector element (0 for shuffle, memory
+    /// and scalar instructions, 2 for fused butterflies/MACs).
+    pub fn modops_per_element(&self) -> u64 {
+        use B1kInstruction::*;
+        match self {
+            VMacMod | VButterflyCt | VButterflyGs => 2,
+            VAddMod | VSubMod | VMulMod | VNegMod | VScalarMulMod | VScalarAddMod
+            | VMulConstShoup | VTwiddleMul | VAccumulate | VDotScalar | VReduceBarrett
+            | VCenterLift => 1,
+            _ => 0,
+        }
+    }
+}
+
+/// Kernel-level operation counts used to cost HKS stages.
+///
+/// These are the closed-form counts quoted in §III of the paper; the schedule
+/// generators attach them to every compute task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelCosts;
+
+impl KernelCosts {
+    /// Modular operations for one forward or inverse NTT of length `n`:
+    /// `(n/2)·log2 n` butterflies at 2 modops each.
+    pub fn ntt_ops(n: usize) -> u64 {
+        (n as u64 / 2) * n.trailing_zeros() as u64 * 2
+    }
+
+    /// Modular operations for a basis conversion of one polynomial from
+    /// `source` towers to `target` towers: `n·source` scaling multiplies plus
+    /// `n·source·target` multiply-accumulates.
+    pub fn bconv_ops(n: usize, source: usize, target: usize) -> u64 {
+        let n = n as u64;
+        n * source as u64 + 2 * n * source as u64 * target as u64
+    }
+
+    /// Modular operations for a point-wise multiply (or multiply-accumulate)
+    /// over `towers` towers.
+    pub fn pointwise_mul_ops(n: usize, towers: usize) -> u64 {
+        n as u64 * towers as u64
+    }
+
+    /// Modular operations for a point-wise addition over `towers` towers.
+    pub fn pointwise_add_ops(n: usize, towers: usize) -> u64 {
+        n as u64 * towers as u64
+    }
+
+    /// Modular operations for a per-tower scalar multiplication.
+    pub fn scalar_mul_ops(n: usize, towers: usize) -> u64 {
+        n as u64 * towers as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isa_has_exactly_28_instructions() {
+        let all = B1kInstruction::all();
+        assert_eq!(all.len(), 28);
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), 28);
+    }
+
+    #[test]
+    fn every_class_is_represented() {
+        let all = B1kInstruction::all();
+        for class in [
+            InstructionClass::Compute,
+            InstructionClass::Shuffle,
+            InstructionClass::Memory,
+            InstructionClass::Scalar,
+        ] {
+            assert!(all.iter().any(|i| i.class() == class), "{class:?} missing");
+        }
+    }
+
+    #[test]
+    fn only_compute_instructions_have_modops() {
+        for instr in B1kInstruction::all() {
+            if instr.modops_per_element() > 0 {
+                assert_eq!(instr.class(), InstructionClass::Compute);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_cost_formulas() {
+        // N = 1024: 512 butterflies * 10 stages * 2 modops.
+        assert_eq!(KernelCosts::ntt_ops(1024), 512 * 10 * 2);
+        // BConv n=16, 2 -> 3 towers.
+        assert_eq!(KernelCosts::bconv_ops(16, 2, 3), 16 * 2 + 2 * 16 * 2 * 3);
+        assert_eq!(KernelCosts::pointwise_mul_ops(1024, 4), 4096);
+        assert_eq!(KernelCosts::pointwise_add_ops(8, 2), 16);
+        assert_eq!(KernelCosts::scalar_mul_ops(8, 3), 24);
+    }
+}

@@ -1,0 +1,155 @@
+//! On-chip memory capacity tracking.
+//!
+//! The schedule generators use an [`OnChipTracker`] while emitting tasks to
+//! decide which intermediate buffers fit on-chip (and can therefore be reused
+//! without DRAM traffic) and which must be spilled and reloaded. The tracker
+//! is a bookkeeping structure, not a timing model — timing lives in the
+//! engine.
+
+use std::collections::HashMap;
+
+/// Result of attempting to allocate a buffer on-chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationOutcome {
+    /// The buffer fits; it now occupies on-chip memory.
+    OnChip,
+    /// The buffer does not fit and must live in DRAM (spilled).
+    Spilled,
+}
+
+/// Capacity-tracked on-chip buffer pool.
+#[derive(Debug, Clone)]
+pub struct OnChipTracker {
+    capacity: u64,
+    used: u64,
+    peak: u64,
+    buffers: HashMap<String, u64>,
+    spill_events: u64,
+}
+
+impl OnChipTracker {
+    /// Creates a tracker for a memory of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            used: 0,
+            peak: 0,
+            buffers: HashMap::new(),
+            spill_events: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Number of allocation attempts that did not fit.
+    pub fn spill_events(&self) -> u64 {
+        self.spill_events
+    }
+
+    /// True if a buffer of `bytes` would currently fit.
+    pub fn fits(&self, bytes: u64) -> bool {
+        self.used + bytes <= self.capacity
+    }
+
+    /// True if the named buffer is currently resident.
+    pub fn contains(&self, name: &str) -> bool {
+        self.buffers.contains_key(name)
+    }
+
+    /// Attempts to allocate `bytes` for `name`. If the buffer is already
+    /// resident this is a no-op returning [`AllocationOutcome::OnChip`].
+    pub fn allocate(&mut self, name: impl Into<String>, bytes: u64) -> AllocationOutcome {
+        let name = name.into();
+        if self.buffers.contains_key(&name) {
+            return AllocationOutcome::OnChip;
+        }
+        if self.used + bytes > self.capacity {
+            self.spill_events += 1;
+            return AllocationOutcome::Spilled;
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        self.buffers.insert(name, bytes);
+        AllocationOutcome::OnChip
+    }
+
+    /// Frees the named buffer if it is resident; returns the bytes released.
+    pub fn release(&mut self, name: &str) -> u64 {
+        match self.buffers.remove(name) {
+            Some(bytes) => {
+                self.used -= bytes;
+                bytes
+            }
+            None => 0,
+        }
+    }
+
+    /// Frees every resident buffer.
+    pub fn clear(&mut self) {
+        self.used = 0;
+        self.buffers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_release_cycle() {
+        let mut t = OnChipTracker::new(100);
+        assert_eq!(t.allocate("a", 40), AllocationOutcome::OnChip);
+        assert_eq!(t.allocate("b", 40), AllocationOutcome::OnChip);
+        assert_eq!(t.used(), 80);
+        assert_eq!(t.free(), 20);
+        assert_eq!(t.allocate("c", 30), AllocationOutcome::Spilled);
+        assert_eq!(t.spill_events(), 1);
+        assert_eq!(t.release("a"), 40);
+        assert_eq!(t.allocate("c", 30), AllocationOutcome::OnChip);
+        assert_eq!(t.peak(), 80);
+        assert!(t.contains("c"));
+        assert!(!t.contains("a"));
+    }
+
+    #[test]
+    fn double_allocation_is_idempotent() {
+        let mut t = OnChipTracker::new(10);
+        assert_eq!(t.allocate("x", 8), AllocationOutcome::OnChip);
+        assert_eq!(t.allocate("x", 8), AllocationOutcome::OnChip);
+        assert_eq!(t.used(), 8);
+    }
+
+    #[test]
+    fn release_of_unknown_buffer_is_zero() {
+        let mut t = OnChipTracker::new(10);
+        assert_eq!(t.release("nope"), 0);
+    }
+
+    #[test]
+    fn clear_resets_usage_but_not_peak() {
+        let mut t = OnChipTracker::new(50);
+        t.allocate("a", 30);
+        t.clear();
+        assert_eq!(t.used(), 0);
+        assert_eq!(t.peak(), 30);
+        assert!(t.fits(50));
+    }
+}

@@ -1,0 +1,369 @@
+//! Tasks and task graphs.
+//!
+//! The CiFlow software framework (paper §V-C) decomposes an HKS kernel into
+//! *compute tasks* (one per kernel invocation: an (i)NTT over one tower, a
+//! BConv of one digit, a point-wise multiply, …) and *memory tasks* (DRAM
+//! loads and stores of named buffers), connected by explicit dependencies.
+//! The RPU engine executes a [`TaskGraph`] with its decoupled compute and
+//! memory queues.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task within one task graph.
+pub type TaskId = usize;
+
+/// The compute kernel a compute task runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComputeKind {
+    /// Inverse NTT of one tower.
+    Intt,
+    /// Forward NTT of one tower.
+    Ntt,
+    /// Basis conversion (of one digit, or of one output tower's slice).
+    BasisConversion,
+    /// Point-wise multiplication (e.g. applying an evk tower).
+    PointwiseMul,
+    /// Point-wise multiply-accumulate.
+    PointwiseMac,
+    /// Point-wise addition (reduction of partial products).
+    PointwiseAdd,
+    /// Per-tower scalar multiplication (ModDown `P^{-1}` scaling, rescale).
+    ScalarMul,
+}
+
+impl std::fmt::Display for ComputeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ComputeKind::Intt => "INTT",
+            ComputeKind::Ntt => "NTT",
+            ComputeKind::BasisConversion => "BConv",
+            ComputeKind::PointwiseMul => "Mul",
+            ComputeKind::PointwiseMac => "Mac",
+            ComputeKind::PointwiseAdd => "Add",
+            ComputeKind::ScalarMul => "ScalarMul",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Direction of a memory task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryDirection {
+    /// DRAM → on-chip.
+    Load,
+    /// On-chip → DRAM.
+    Store,
+}
+
+/// What a task does and how much it costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// A kernel executed on the HPLEs.
+    Compute {
+        /// Which kernel.
+        kind: ComputeKind,
+        /// Modular operations charged to the compute pipeline.
+        ops: u64,
+    },
+    /// A DRAM transfer.
+    Memory {
+        /// Load or store.
+        direction: MemoryDirection,
+        /// Bytes moved over the off-chip interface.
+        bytes: u64,
+    },
+}
+
+/// One node of a task graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task id (equal to the task's index in the graph).
+    pub id: TaskId,
+    /// What the task does.
+    pub kind: TaskKind,
+    /// Ids of tasks that must finish before this task may start.
+    pub dependencies: Vec<TaskId>,
+    /// Human-readable label (buffer or kernel name), used in traces.
+    pub label: String,
+    /// HKS stage name (e.g. "ModUp-P2") used to group the timing diagrams.
+    pub stage: String,
+}
+
+impl Task {
+    /// True if this is a compute task.
+    pub fn is_compute(&self) -> bool {
+        matches!(self.kind, TaskKind::Compute { .. })
+    }
+
+    /// True if this is a memory task.
+    pub fn is_memory(&self) -> bool {
+        matches!(self.kind, TaskKind::Memory { .. })
+    }
+
+    /// Modular operations of a compute task (0 for memory tasks).
+    pub fn ops(&self) -> u64 {
+        match self.kind {
+            TaskKind::Compute { ops, .. } => ops,
+            TaskKind::Memory { .. } => 0,
+        }
+    }
+
+    /// Bytes moved by a memory task (0 for compute tasks).
+    pub fn bytes(&self) -> u64 {
+        match self.kind {
+            TaskKind::Memory { bytes, .. } => bytes,
+            TaskKind::Compute { .. } => 0,
+        }
+    }
+}
+
+/// Errors detected while validating a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskGraphError {
+    /// A task's id does not match its index.
+    IdMismatch {
+        /// Index in the task vector.
+        index: usize,
+        /// Id stored in the task.
+        id: TaskId,
+    },
+    /// A dependency references a task that does not exist or comes later in
+    /// program order (the generators always emit causally ordered graphs).
+    ForwardDependency {
+        /// The dependent task.
+        task: TaskId,
+        /// The offending dependency.
+        dependency: TaskId,
+    },
+}
+
+impl std::fmt::Display for TaskGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskGraphError::IdMismatch { index, id } => {
+                write!(f, "task at index {index} carries id {id}")
+            }
+            TaskGraphError::ForwardDependency { task, dependency } => write!(
+                f,
+                "task {task} depends on {dependency}, which is not an earlier task"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TaskGraphError {}
+
+/// A validated, causally ordered list of tasks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+}
+
+impl TaskGraph {
+    /// Creates an empty task graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a graph from a task list, validating ids and dependency order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaskGraphError`] describing the first inconsistency.
+    pub fn from_tasks(tasks: Vec<Task>) -> Result<Self, TaskGraphError> {
+        for (index, task) in tasks.iter().enumerate() {
+            if task.id != index {
+                return Err(TaskGraphError::IdMismatch { index, id: task.id });
+            }
+            for &dep in &task.dependencies {
+                if dep >= index {
+                    return Err(TaskGraphError::ForwardDependency {
+                        task: task.id,
+                        dependency: dep,
+                    });
+                }
+            }
+        }
+        Ok(Self { tasks })
+    }
+
+    /// Appends a compute task and returns its id.
+    pub fn push_compute(
+        &mut self,
+        kind: ComputeKind,
+        ops: u64,
+        dependencies: Vec<TaskId>,
+        label: impl Into<String>,
+        stage: impl Into<String>,
+    ) -> TaskId {
+        self.push(TaskKind::Compute { kind, ops }, dependencies, label, stage)
+    }
+
+    /// Appends a memory task and returns its id.
+    pub fn push_memory(
+        &mut self,
+        direction: MemoryDirection,
+        bytes: u64,
+        dependencies: Vec<TaskId>,
+        label: impl Into<String>,
+        stage: impl Into<String>,
+    ) -> TaskId {
+        self.push(
+            TaskKind::Memory { direction, bytes },
+            dependencies,
+            label,
+            stage,
+        )
+    }
+
+    fn push(
+        &mut self,
+        kind: TaskKind,
+        dependencies: Vec<TaskId>,
+        label: impl Into<String>,
+        stage: impl Into<String>,
+    ) -> TaskId {
+        let id = self.tasks.len();
+        debug_assert!(dependencies.iter().all(|&d| d < id));
+        self.tasks.push(Task {
+            id,
+            kind,
+            dependencies,
+            label: label.into(),
+            stage: stage.into(),
+        });
+        id
+    }
+
+    /// All tasks in program order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the graph has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total modular operations across all compute tasks.
+    pub fn total_ops(&self) -> u64 {
+        self.tasks.iter().map(Task::ops).sum()
+    }
+
+    /// Total bytes moved by memory tasks, split into (loaded, stored).
+    pub fn total_bytes(&self) -> (u64, u64) {
+        let mut loaded = 0;
+        let mut stored = 0;
+        for t in &self.tasks {
+            if let TaskKind::Memory { direction, bytes } = t.kind {
+                match direction {
+                    MemoryDirection::Load => loaded += bytes,
+                    MemoryDirection::Store => stored += bytes,
+                }
+            }
+        }
+        (loaded, stored)
+    }
+
+    /// Arithmetic intensity of the whole graph in modular operations per byte
+    /// of DRAM traffic (the metric of Table II). Returns `f64::INFINITY` when
+    /// there is no DRAM traffic.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let (loaded, stored) = self.total_bytes();
+        let bytes = loaded + stored;
+        if bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.total_ops() as f64 / bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let load = g.push_memory(MemoryDirection::Load, 1024, vec![], "load x", "ModUp-P1");
+        let intt = g.push_compute(ComputeKind::Intt, 5120, vec![load], "intt x", "ModUp-P1");
+        let store = g.push_memory(MemoryDirection::Store, 1024, vec![intt], "store x", "ModUp-P1");
+        let _ = g.push_compute(ComputeKind::PointwiseAdd, 100, vec![intt, store], "acc", "ModUp-P5");
+        g
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let g = sample_graph();
+        assert_eq!(g.len(), 4);
+        for (i, t) in g.tasks().iter().enumerate() {
+            assert_eq!(t.id, i);
+        }
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn totals_and_intensity() {
+        let g = sample_graph();
+        assert_eq!(g.total_ops(), 5220);
+        assert_eq!(g.total_bytes(), (1024, 1024));
+        assert!((g.arithmetic_intensity() - 5220.0 / 2048.0).abs() < 1e-12);
+        let empty = TaskGraph::new();
+        assert!(empty.arithmetic_intensity().is_infinite());
+    }
+
+    #[test]
+    fn task_accessors() {
+        let g = sample_graph();
+        assert!(g.tasks()[0].is_memory());
+        assert!(g.tasks()[1].is_compute());
+        assert_eq!(g.tasks()[0].bytes(), 1024);
+        assert_eq!(g.tasks()[0].ops(), 0);
+        assert_eq!(g.tasks()[1].ops(), 5120);
+        assert_eq!(g.tasks()[1].bytes(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_graphs() {
+        let t = Task {
+            id: 5,
+            kind: TaskKind::Compute {
+                kind: ComputeKind::Ntt,
+                ops: 1,
+            },
+            dependencies: vec![],
+            label: "x".into(),
+            stage: "s".into(),
+        };
+        assert!(matches!(
+            TaskGraph::from_tasks(vec![t]),
+            Err(TaskGraphError::IdMismatch { .. })
+        ));
+        let t0 = Task {
+            id: 0,
+            kind: TaskKind::Compute {
+                kind: ComputeKind::Ntt,
+                ops: 1,
+            },
+            dependencies: vec![1],
+            label: "x".into(),
+            stage: "s".into(),
+        };
+        assert!(matches!(
+            TaskGraph::from_tasks(vec![t0]),
+            Err(TaskGraphError::ForwardDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn round_trip_through_from_tasks() {
+        let g = sample_graph();
+        let rebuilt = TaskGraph::from_tasks(g.tasks().to_vec()).unwrap();
+        assert_eq!(g, rebuilt);
+    }
+}

@@ -1,0 +1,41 @@
+//! Dataflow explorer: sweep off-chip bandwidth for a chosen benchmark and
+//! compare the three dataflows, reproducing one panel of the paper's
+//! Figure 4 from the command line.
+//!
+//! Run with, e.g.:
+//! `cargo run -p ciflow --release --example dataflow_explorer -- ARK`
+//! `cargo run -p ciflow --release --example dataflow_explorer -- BTS3 streamed`
+
+use ciflow::benchmark::HksBenchmark;
+use ciflow::dataflow::Dataflow;
+use ciflow::report::{render_sweep_ascii, render_sweep_csv};
+use ciflow::sweep::{bandwidth_sweep, baseline_runtime_ms};
+use rpu::EvkPolicy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let benchmark = args
+        .get(1)
+        .and_then(|name| HksBenchmark::by_name(name))
+        .unwrap_or(HksBenchmark::ARK);
+    let evk_policy = if args.iter().any(|a| a == "streamed") {
+        EvkPolicy::Streamed
+    } else {
+        EvkPolicy::OnChip
+    };
+    let bandwidths = [8.0, 12.8, 16.0, 25.6, 32.0, 48.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
+
+    println!("benchmark: {benchmark}");
+    println!("evk policy: {evk_policy}\n");
+    let series: Vec<_> = Dataflow::all()
+        .into_iter()
+        .map(|d| bandwidth_sweep(benchmark, d, &bandwidths, evk_policy, 1.0))
+        .collect();
+    print!("{}", render_sweep_csv(&series));
+    println!();
+    print!("{}", render_sweep_ascii(&series, 66, 14));
+    println!(
+        "\nbaseline (MP @ 64 GB/s, evks on-chip): {:.2} ms",
+        baseline_runtime_ms(benchmark)
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: encrypt data with CKKS, perform a rotation (which triggers a
+//! hybrid key switch), and then ask CiFlow how that key switch would perform
+//! on the RPU under each of the three dataflows.
+//!
+//! Run with: `cargo run -p ciflow --release --example quickstart`
+
+use ciflow::benchmark::HksBenchmark;
+use ciflow::dataflow::Dataflow;
+use ciflow::runner::HksRun;
+use ckks::context::CkksContext;
+use ckks::encoding::CkksEncoder;
+use ckks::encrypt::{decrypt, encrypt};
+use ckks::keys::KeyGenerator;
+use ckks::ops;
+use ckks::params::CkksParametersBuilder;
+use rand::SeedableRng;
+use rpu::RpuConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------------------------------------------------------------
+    // Part 1: a real (laptop-scale) CKKS computation with key switching.
+    // ---------------------------------------------------------------
+    let params = CkksParametersBuilder::new()
+        .ring_degree(1 << 11)
+        .q_tower_bits(vec![50, 40, 40, 40])
+        .p_tower_bits(vec![50, 50])
+        .dnum(2)
+        .scale_bits(40)
+        .build()?;
+    let ctx = CkksContext::new(params)?;
+    let encoder = CkksEncoder::new(ctx.params());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let keygen = KeyGenerator::new(ctx.clone());
+    let sk = keygen.secret_key(&mut rng);
+    let pk = keygen.public_key(&mut rng, &sk);
+    let rot_key = keygen.rotation_key(&mut rng, &sk, 1);
+
+    let message: Vec<f64> = (0..8).map(|i| i as f64).collect();
+    let pt = encoder.encode_real(&message, ctx.params().scale(), ctx.basis_q().clone());
+    let ct = encrypt(&ctx, &mut rng, &pk, &pt);
+    let rotated = ops::rotate(&ctx, &ct, 1, &rot_key)?;
+    let decoded = encoder.decode(&decrypt(&ctx, &sk, &rotated));
+    println!("original first slots: {:?}", &message[..4]);
+    println!(
+        "rotated  first slots: [{:.3}, {:.3}, {:.3}, {:.3}]",
+        decoded[0].re, decoded[1].re, decoded[2].re, decoded[3].re
+    );
+
+    // ---------------------------------------------------------------
+    // Part 2: how would that key switch behave at accelerator scale?
+    // The rotation above ran one hybrid key switch; CiFlow models the same
+    // kernel at the DPRIVE parameter point on the RPU.
+    // ---------------------------------------------------------------
+    println!("\nDPRIVE hybrid key switch on the RPU at 12.8 GB/s (evks on-chip):");
+    for dataflow in Dataflow::all() {
+        let result = HksRun::new(HksBenchmark::DPRIVE, dataflow)
+            .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(12.8))
+            .execute()?;
+        println!(
+            "  {dataflow}: {:6.2} ms, compute idle {:4.1}%, DRAM traffic {:6.1} MiB",
+            result.stats.runtime_ms(),
+            100.0 * result.stats.compute_idle_fraction(),
+            result.stats.total_bytes() as f64 / rpu::MIB as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! Integration tests of the dataflow taxonomy: every dataflow performs the
+//! same computation (operation parity), the Table II ordering holds, and the
+//! working-set / spill behaviour matches the paper's qualitative claims.
+
+use ciflow::benchmark::HksBenchmark;
+use ciflow::dataflow::Dataflow;
+use ciflow::hks_shape::HksShape;
+use ciflow::schedule::{build_schedule, ScheduleConfig};
+use proptest::prelude::*;
+use rpu::EvkPolicy;
+
+fn streamed(data_mib: u64) -> ScheduleConfig {
+    ScheduleConfig {
+        data_memory_bytes: data_mib * rpu::MIB,
+        evk_policy: EvkPolicy::Streamed,
+    }
+}
+
+#[test]
+fn operation_parity_across_dataflows_and_benchmarks() {
+    for bench in HksBenchmark::all() {
+        let shape = HksShape::new(bench);
+        let reference = shape.total_ops();
+        for dataflow in Dataflow::all() {
+            for mem in [16u64, 32, 256] {
+                let schedule = build_schedule(dataflow, &shape, &streamed(mem));
+                assert_eq!(
+                    schedule.total_ops(),
+                    reference,
+                    "{} {dataflow} @ {mem} MiB",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table2_ordering_holds_at_the_paper_operating_point() {
+    for bench in HksBenchmark::all() {
+        let shape = HksShape::new(bench);
+        let traffic = |d| build_schedule(d, &shape, &streamed(32)).dram_bytes();
+        let mp = traffic(Dataflow::MaxParallel);
+        let dc = traffic(Dataflow::DigitCentric);
+        let oc = traffic(Dataflow::OutputCentric);
+        assert!(oc < dc, "{}: OC {oc} vs DC {dc}", bench.name);
+        assert!(dc <= mp, "{}: DC {dc} vs MP {mp}", bench.name);
+        // Minimum possible traffic: input + output + streamed keys.
+        let floor = shape.input_bytes() + shape.output_bytes() + shape.evk_bytes();
+        assert!(oc >= floor, "{}: OC below the physical floor", bench.name);
+    }
+}
+
+#[test]
+fn oc_traffic_is_close_to_the_compulsory_floor_for_small_benchmarks() {
+    // For ARK and DPRIVE the paper's OC numbers (180 / 170 MB) are within
+    // ~25% of the compulsory traffic; require the same of our schedules.
+    for bench in [HksBenchmark::ARK, HksBenchmark::DPRIVE] {
+        let shape = HksShape::new(bench);
+        let oc = build_schedule(Dataflow::OutputCentric, &shape, &streamed(32)).dram_bytes();
+        let floor = shape.input_bytes() + shape.output_bytes() + shape.evk_bytes();
+        assert!(
+            (oc as f64) < 1.4 * floor as f64,
+            "{}: OC {} vs floor {}",
+            bench.name,
+            oc,
+            floor
+        );
+    }
+}
+
+#[test]
+fn spills_vanish_with_enough_memory_for_every_dataflow() {
+    for bench in HksBenchmark::all() {
+        let shape = HksShape::new(bench);
+        for dataflow in Dataflow::all() {
+            let schedule = build_schedule(dataflow, &shape, &streamed(4096));
+            assert_eq!(schedule.spill_bytes, 0, "{} {dataflow}", bench.name);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: for any (valid) synthetic benchmark shape and any memory
+    /// capacity, OC never moves more DRAM data than MP, and compute work is
+    /// identical across all three dataflows.
+    #[test]
+    fn oc_never_exceeds_mp_traffic(
+        log_n in 13u32..=16,
+        q_towers in 4usize..=24,
+        dnum in 1usize..=4,
+        mem_mib in 8u64..=128,
+    ) {
+        prop_assume!(dnum <= q_towers);
+        // Skip degenerate splits where a trailing digit would be empty (they
+        // do not occur in practice: dnum is chosen so every digit has towers).
+        prop_assume!((dnum - 1) * q_towers.div_ceil(dnum) < q_towers);
+        let p_towers = q_towers.div_ceil(dnum).max(2);
+        let bench = HksBenchmark {
+            name: "PROP",
+            log_ring_degree: log_n,
+            q_towers,
+            p_towers,
+            dnum,
+        };
+        let shape = HksShape::new(bench);
+        let config = streamed(mem_mib);
+        let mp = build_schedule(Dataflow::MaxParallel, &shape, &config);
+        let oc = build_schedule(Dataflow::OutputCentric, &shape, &config);
+        let dc = build_schedule(Dataflow::DigitCentric, &shape, &config);
+        prop_assert!(oc.dram_bytes() <= mp.dram_bytes());
+        prop_assert_eq!(oc.total_ops(), mp.total_ops());
+        prop_assert_eq!(dc.total_ops(), mp.total_ops());
+        // All three schedules must execute without deadlock.
+        let engine = rpu::RpuEngine::new(rpu::RpuConfig::ciflow_streaming());
+        prop_assert!(engine.execute(&mp.graph).is_ok());
+        prop_assert!(engine.execute(&dc.graph).is_ok());
+        prop_assert!(engine.execute(&oc.graph).is_ok());
+    }
+}
