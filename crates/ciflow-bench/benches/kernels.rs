@@ -42,7 +42,11 @@ fn bench_basis_conversion(c: &mut Criterion) {
     for (source_towers, target_towers) in [(2usize, 3usize), (4, 6), (6, 9)] {
         let qs = generate_ntt_primes(40, n, source_towers, &[]).unwrap();
         let ps = generate_ntt_primes(41, n, target_towers, &qs).unwrap();
-        let to_mod = |v: &[u64]| v.iter().map(|&q| Modulus::new(q).unwrap()).collect::<Vec<_>>();
+        let to_mod = |v: &[u64]| {
+            v.iter()
+                .map(|&q| Modulus::new(q).unwrap())
+                .collect::<Vec<_>>()
+        };
         let source = Arc::new(RnsBasis::new(n, to_mod(&qs)).unwrap());
         let target = Arc::new(RnsBasis::new(n, to_mod(&ps)).unwrap());
         let converter = BasisConverter::new(source.clone(), target);

@@ -21,10 +21,16 @@ fn main() {
             let mut cells = vec![format!("{mib} MiB")];
             for dataflow in Dataflow::all() {
                 let p = memory_sweep(benchmark, dataflow, &[mib], 64.0)[0];
-                cells.push(format!("{:.0} / {:.0} / {:.2}", p.dram_mib, p.spill_mib, p.runtime_ms));
+                cells.push(format!(
+                    "{:.0} / {:.0} / {:.2}",
+                    p.dram_mib, p.spill_mib, p.runtime_ms
+                ));
             }
             rows.push(cells);
         }
-        print!("{}", markdown_table(&["data memory", "MP", "DC", "OC"], &rows));
+        print!(
+            "{}",
+            markdown_table(&["data memory", "MP", "DC", "OC"], &rows)
+        );
     }
 }

@@ -4,22 +4,23 @@
 
 use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
-use ciflow::runner::HksRun;
-use rpu::RpuConfig;
 
 fn main() {
     ciflow_bench::section("Figure 2 analogue: per-stage activity timelines (DPRIVE, 12.8 GB/s)");
-    for dataflow in Dataflow::all() {
-        let result = HksRun::new(HksBenchmark::DPRIVE, dataflow)
-            .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(12.8))
-            .execute()
-            .expect("run");
+    let outcome = Dataflow::all()
+        .into_iter()
+        .fold(ciflow_bench::session_at(12.8), |session, dataflow| {
+            session.job(HksBenchmark::DPRIVE, dataflow)
+        })
+        .run();
+    for (dataflow, result) in Dataflow::all().into_iter().zip(&outcome.results) {
+        let output = result.outcome.as_ref().expect("run");
         println!("\n--- {dataflow} ({}) ---", dataflow.description());
-        print!("{}", result.trace.render_ascii(72));
+        print!("{}", output.trace.render_ascii(72));
         println!(
             "runtime {:.2} ms, compute idle {:.1}%",
-            result.stats.runtime_ms(),
-            100.0 * result.stats.compute_idle_fraction()
+            output.stats.runtime_ms(),
+            100.0 * output.stats.compute_idle_fraction()
         );
     }
 }

@@ -12,7 +12,10 @@ fn main() {
             ciflow_bench::ddr_bandwidths()
         };
         let series = ciflow_bench::sweep_all_dataflows(benchmark, &bandwidths, EvkPolicy::OnChip);
-        ciflow_bench::section(&format!("Figure 4 analogue: {} (evks on-chip)", benchmark.name));
+        ciflow_bench::section(&format!(
+            "Figure 4 analogue: {} (evks on-chip)",
+            benchmark.name
+        ));
         print!("{}", ciflow::report::render_sweep_csv(&series));
         print!("{}", ciflow::report::render_sweep_ascii(&series, 60, 12));
     }

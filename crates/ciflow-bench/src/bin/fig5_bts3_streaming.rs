@@ -6,8 +6,13 @@ use rpu::EvkPolicy;
 
 fn main() {
     let bandwidths = ciflow_bench::extended_bandwidths();
-    let mut series = ciflow_bench::sweep_all_dataflows(HksBenchmark::BTS3, &bandwidths, EvkPolicy::Streamed);
-    series.extend(ciflow_bench::sweep_all_dataflows(HksBenchmark::BTS3, &bandwidths, EvkPolicy::OnChip));
+    let mut series =
+        ciflow_bench::sweep_all_dataflows(HksBenchmark::BTS3, &bandwidths, EvkPolicy::Streamed);
+    series.extend(ciflow_bench::sweep_all_dataflows(
+        HksBenchmark::BTS3,
+        &bandwidths,
+        EvkPolicy::OnChip,
+    ));
     ciflow_bench::section("Figure 5 analogue: BTS3 with evks streamed vs on-chip");
     print!("{}", ciflow::report::render_sweep_csv(&series));
     let baseline = ciflow::sweep::baseline_runtime_ms(HksBenchmark::BTS3);

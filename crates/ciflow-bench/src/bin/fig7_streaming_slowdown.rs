@@ -36,5 +36,7 @@ fn main() {
             &rows,
         )
     );
-    println!("\nPaper reference: 1.3x (BTS1) to 2.9x (ARK) extra bandwidth for a 12.25x SRAM saving.");
+    println!(
+        "\nPaper reference: 1.3x (BTS1) to 2.9x (ARK) extra bandwidth for a 12.25x SRAM saving."
+    );
 }

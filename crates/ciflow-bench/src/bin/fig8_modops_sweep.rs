@@ -8,11 +8,7 @@ fn main() {
     let bandwidths = ciflow_bench::extended_bandwidths();
     let series: Vec<_> = MODOPS_LADDER
         .iter()
-        .map(|&m| {
-            let mut s = modops_sweep(HksBenchmark::ARK, m, &bandwidths);
-            s.dataflow = "OC";
-            s
-        })
+        .map(|&m| modops_sweep(HksBenchmark::ARK, m, &bandwidths))
         .collect();
     ciflow_bench::section("Figure 8 analogue: ARK OC runtime at different MODOPS (evks on-chip)");
     println!("columns are 1x, 2x, 4x, 8x, 16x MODOPS");

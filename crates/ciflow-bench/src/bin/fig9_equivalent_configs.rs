@@ -9,19 +9,40 @@ use ciflow::sweep::{ark_saturation_point, baseline_runtime_ms, equivalent_config
 fn main() {
     let (sat_bw, sat_ms) = ark_saturation_point();
     let baseline_ms = baseline_runtime_ms(HksBenchmark::ARK);
-    ciflow_bench::section("Figure 9(a) analogue: matching ARK's saturation point with streamed evks");
+    ciflow_bench::section(
+        "Figure 9(a) analogue: matching ARK's saturation point with streamed evks",
+    );
     println!("saturation point: {sat_bw} GB/s, {sat_ms:.2} ms (evks on-chip, 1x MODOPS)\n");
     let rows: Vec<Vec<String>> = equivalent_configs(HksBenchmark::ARK, sat_ms, &[1.0, 2.0, 4.0])
         .into_iter()
-        .map(|c| vec![format!("{:.0}x", c.modops), ciflow_bench::fmt(c.bandwidth_gbps, 1)])
+        .map(|c| {
+            vec![
+                format!("{:.0}x", c.modops),
+                ciflow_bench::fmt(c.bandwidth_gbps, 1),
+            ]
+        })
         .collect();
-    print!("{}", markdown_table(&["MODOPS", "required BW (GB/s)"], &rows));
+    print!(
+        "{}",
+        markdown_table(&["MODOPS", "required BW (GB/s)"], &rows)
+    );
 
-    ciflow_bench::section("Figure 9(b) analogue: matching the MP 64 GB/s baseline with streamed evks");
+    ciflow_bench::section(
+        "Figure 9(b) analogue: matching the MP 64 GB/s baseline with streamed evks",
+    );
     println!("baseline: {baseline_ms:.2} ms\n");
-    let rows: Vec<Vec<String>> = equivalent_configs(HksBenchmark::ARK, baseline_ms, &[1.0, 2.0, 4.0])
-        .into_iter()
-        .map(|c| vec![format!("{:.0}x", c.modops), ciflow_bench::fmt(c.bandwidth_gbps, 1)])
-        .collect();
-    print!("{}", markdown_table(&["MODOPS", "required BW (GB/s)"], &rows));
+    let rows: Vec<Vec<String>> =
+        equivalent_configs(HksBenchmark::ARK, baseline_ms, &[1.0, 2.0, 4.0])
+            .into_iter()
+            .map(|c| {
+                vec![
+                    format!("{:.0}x", c.modops),
+                    ciflow_bench::fmt(c.bandwidth_gbps, 1),
+                ]
+            })
+            .collect();
+    print!(
+        "{}",
+        markdown_table(&["MODOPS", "required BW (GB/s)"], &rows)
+    );
 }

@@ -6,7 +6,7 @@ use ciflow::analysis::table2_rows;
 use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
 use ciflow::sweep::{min_bandwidth_for_runtime, table4_rows, BASELINE_BANDWIDTH_GBPS};
-use rpu::{EvkPolicy, RpuConfig};
+use rpu::EvkPolicy;
 
 fn main() {
     ciflow_bench::section("Headline claim 1: OC speedup over MP at the OCbase bandwidth");
@@ -19,8 +19,8 @@ fn main() {
     }
 
     ciflow_bench::section("Headline claim 2: SRAM saving from streaming evks");
-    let on_chip = RpuConfig::ciflow_baseline();
-    let streaming = RpuConfig::ciflow_streaming();
+    let on_chip = ciflow_bench::rpu_for(EvkPolicy::OnChip, BASELINE_BANDWIDTH_GBPS);
+    let streaming = ciflow_bench::rpu_for(EvkPolicy::Streamed, BASELINE_BANDWIDTH_GBPS);
     println!(
         "{} MiB -> {} MiB = {:.2}x (paper: 12.25x); estimated area {:.1} mm2 -> {:.1} mm2",
         (on_chip.vector_memory_bytes + on_chip.key_memory_bytes) / rpu::MIB,
@@ -31,7 +31,9 @@ fn main() {
         streaming.estimated_area_mm2(),
     );
 
-    ciflow_bench::section("Headline claim 3: bandwidth saving of OC (evks streamed) vs the MP on-chip baseline");
+    ciflow_bench::section(
+        "Headline claim 3: bandwidth saving of OC (evks streamed) vs the MP on-chip baseline",
+    );
     for benchmark in HksBenchmark::all() {
         let baseline = ciflow::sweep::baseline_runtime_ms(benchmark);
         let needed = min_bandwidth_for_runtime(
@@ -55,7 +57,7 @@ fn main() {
     for benchmark in HksBenchmark::all() {
         let get = |d: Dataflow| {
             rows.iter()
-                .find(|r| r.benchmark == benchmark.name && r.dataflow == d)
+                .find(|r| r.benchmark == benchmark.name && r.dataflow == d.short_name())
                 .unwrap()
                 .arithmetic_intensity
         };

@@ -10,13 +10,14 @@ use rpu::EvkPolicy;
 use serde::Serialize;
 
 /// One row of the Table II analogue: DRAM traffic and arithmetic intensity of
-/// a benchmark under one dataflow.
+/// a benchmark under one scheduling strategy.
 #[derive(Debug, Clone, Serialize)]
 pub struct TrafficRow {
     /// Benchmark name.
     pub benchmark: &'static str,
-    /// Dataflow.
-    pub dataflow: Dataflow,
+    /// Strategy short name (taken from the schedule, so it also covers
+    /// custom strategies).
+    pub dataflow: String,
     /// Total DRAM traffic in bytes (including streamed evks).
     pub dram_bytes: u64,
     /// Arithmetic intensity in modular operations per DRAM byte.
@@ -47,11 +48,13 @@ pub fn traffic_row(benchmark: HksBenchmark, dataflow: Dataflow) -> TrafficRow {
     summarize(benchmark, &schedule)
 }
 
-/// Summarizes an already-built schedule into a [`TrafficRow`].
+/// Summarizes an already-built schedule into a [`TrafficRow`]; the strategy
+/// label comes from the schedule itself, so rows cannot desync from the
+/// schedule they describe.
 pub fn summarize(benchmark: HksBenchmark, schedule: &Schedule) -> TrafficRow {
     TrafficRow {
         benchmark: benchmark.name,
-        dataflow: schedule.dataflow,
+        dataflow: schedule.strategy.clone(),
         dram_bytes: schedule.dram_bytes(),
         arithmetic_intensity: schedule.arithmetic_intensity(),
         total_ops: schedule.total_ops(),
@@ -173,7 +176,7 @@ mod tests {
         for benchmark in HksBenchmark::all() {
             let get = |d: Dataflow| {
                 rows.iter()
-                    .find(|r| r.benchmark == benchmark.name && r.dataflow == d)
+                    .find(|r| r.benchmark == benchmark.name && r.dataflow == d.short_name())
                     .unwrap()
                     .arithmetic_intensity
             };

@@ -1,0 +1,514 @@
+//! Builder-style batch execution of HKS runs on the RPU model.
+
+use super::registry::StrategyRegistry;
+use super::strategy::ScheduleStrategy;
+use crate::benchmark::HksBenchmark;
+use crate::dataflow::Dataflow;
+use crate::error::CiflowError;
+use crate::hks_shape::HksShape;
+use crate::schedule::{Schedule, ScheduleConfig};
+use rpu::{ExecutionStats, ExecutionTrace, RpuConfig, RpuEngine};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// How a job names its strategy: by registry name or as an inline object.
+#[derive(Clone)]
+pub enum StrategySpec {
+    /// Resolved through the session's [`StrategyRegistry`] at run time.
+    Named(String),
+    /// Used directly, bypassing the registry.
+    Inline(Arc<dyn ScheduleStrategy>),
+}
+
+impl std::fmt::Debug for StrategySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategySpec::Named(name) => write!(f, "Named({name:?})"),
+            StrategySpec::Inline(s) => write!(f, "Inline({:?})", s.short_name()),
+        }
+    }
+}
+
+impl From<&str> for StrategySpec {
+    fn from(name: &str) -> Self {
+        StrategySpec::Named(name.to_string())
+    }
+}
+
+impl From<String> for StrategySpec {
+    fn from(name: String) -> Self {
+        StrategySpec::Named(name)
+    }
+}
+
+impl From<Dataflow> for StrategySpec {
+    fn from(dataflow: Dataflow) -> Self {
+        StrategySpec::Named(dataflow.short_name().to_string())
+    }
+}
+
+impl From<Arc<dyn ScheduleStrategy>> for StrategySpec {
+    fn from(strategy: Arc<dyn ScheduleStrategy>) -> Self {
+        StrategySpec::Inline(strategy)
+    }
+}
+
+impl StrategySpec {
+    /// The name this spec would be displayed under: the requested registry
+    /// name, or the inline strategy's short name.
+    pub fn display_name(&self) -> String {
+        match self {
+            StrategySpec::Named(name) => name.clone(),
+            StrategySpec::Inline(s) => s.short_name().to_string(),
+        }
+    }
+}
+
+/// One unit of work in a [`Session`] batch: a benchmark scheduled by a
+/// strategy, optionally on a job-specific RPU configuration.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The parameter point to run.
+    pub benchmark: HksBenchmark,
+    /// The strategy that schedules it.
+    pub strategy: StrategySpec,
+    /// Overrides the session RPU configuration when set.
+    pub rpu: Option<RpuConfig>,
+    /// Optional caller-supplied label, reported back in [`JobResult`].
+    pub label: Option<String>,
+}
+
+impl Job {
+    /// A job running `benchmark` under `strategy` on the session RPU.
+    pub fn new(benchmark: HksBenchmark, strategy: impl Into<StrategySpec>) -> Self {
+        Self {
+            benchmark,
+            strategy: strategy.into(),
+            rpu: None,
+            label: None,
+        }
+    }
+
+    /// Runs this job on its own RPU configuration instead of the session's.
+    pub fn with_rpu(mut self, rpu: RpuConfig) -> Self {
+        self.rpu = Some(rpu);
+        self
+    }
+
+    /// Attaches a caller-supplied label.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    fn strategy_name(&self) -> String {
+        self.strategy.display_name()
+    }
+}
+
+/// The successful outcome of one job.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The parameter point that ran.
+    pub benchmark: HksBenchmark,
+    /// Short name of the strategy that scheduled it.
+    pub strategy: String,
+    /// The RPU configuration the job executed on.
+    pub rpu: RpuConfig,
+    /// Aggregate execution statistics (runtime, idle fractions, traffic).
+    pub stats: ExecutionStats,
+    /// Per-task trace (for timing diagrams).
+    pub trace: ExecutionTrace,
+    /// The schedule that was executed.
+    pub schedule: Schedule,
+}
+
+impl JobOutput {
+    /// Runtime in milliseconds.
+    pub fn runtime_ms(&self) -> f64 {
+        self.stats.runtime_ms()
+    }
+
+    /// Total DRAM traffic in MiB.
+    pub fn dram_mib(&self) -> f64 {
+        self.stats.total_bytes() as f64 / rpu::MIB as f64
+    }
+
+    /// The compact serializable summary used by the benchmark harnesses.
+    pub fn summary(&self) -> crate::runner::HksRunSummary {
+        crate::runner::HksRunSummary {
+            benchmark: self.benchmark.name,
+            dataflow: self.strategy.clone(),
+            bandwidth_gbps: self.rpu.dram_bandwidth_gbps,
+            modops: self.rpu.modops_multiplier,
+            evk_streamed: self.rpu.evk_policy == rpu::EvkPolicy::Streamed,
+            runtime_ms: self.stats.runtime_ms(),
+            compute_idle: self.stats.compute_idle_fraction(),
+            dram_mib: self.dram_mib(),
+            arithmetic_intensity: self.stats.arithmetic_intensity(),
+        }
+    }
+}
+
+/// One entry of a [`BatchOutcome`]: the job description plus its result.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Label identifying the job (caller-supplied or generated).
+    pub label: String,
+    /// The parameter point of the job.
+    pub benchmark: HksBenchmark,
+    /// The strategy name the job requested.
+    pub strategy: String,
+    /// The result: output on success, a typed error otherwise.
+    pub outcome: Result<JobOutput, CiflowError>,
+}
+
+/// The per-job results of one [`Session::run`] batch, in submission order.
+#[derive(Debug, Default)]
+pub struct BatchOutcome {
+    /// One entry per submitted job, in submission order.
+    pub results: Vec<JobResult>,
+}
+
+impl BatchOutcome {
+    /// Number of jobs in the batch.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True if the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// True if every job succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(|r| r.outcome.is_ok())
+    }
+
+    /// The successful outputs, in submission order.
+    pub fn successes(&self) -> impl Iterator<Item = &JobOutput> {
+        self.results.iter().filter_map(|r| r.outcome.as_ref().ok())
+    }
+
+    /// The failed jobs as `(label, error)` pairs, in submission order.
+    pub fn failures(&self) -> impl Iterator<Item = (&str, &CiflowError)> {
+        self.results
+            .iter()
+            .filter_map(|r| r.outcome.as_ref().err().map(|e| (r.label.as_str(), e)))
+    }
+
+    /// Unwraps every job into its output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failure (by submission order) if any job failed.
+    pub fn into_outputs(self) -> Result<Vec<JobOutput>, CiflowError> {
+        self.results.into_iter().map(|r| r.outcome).collect()
+    }
+}
+
+/// A builder-style batch runner: configure an RPU and a strategy registry,
+/// queue jobs, and execute them all — in parallel across cores when the
+/// default `parallel` feature is enabled.
+///
+/// See the [module docs](crate::api) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Session {
+    rpu: RpuConfig,
+    registry: StrategyRegistry,
+    jobs: Vec<Job>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// A session on the paper's baseline RPU with the built-in strategies.
+    pub fn new() -> Self {
+        Self {
+            rpu: RpuConfig::ciflow_baseline(),
+            registry: StrategyRegistry::builtin(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Replaces the session RPU configuration (jobs without their own
+    /// configuration run on this one).
+    pub fn with_rpu(mut self, rpu: RpuConfig) -> Self {
+        self.rpu = rpu;
+        self
+    }
+
+    /// Replaces the strategy registry wholesale.
+    pub fn with_registry(mut self, registry: StrategyRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Registers an additional strategy with the session's registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CiflowError::DuplicateStrategy`] if the name is taken.
+    pub fn register(mut self, strategy: Arc<dyn ScheduleStrategy>) -> Result<Self, CiflowError> {
+        self.registry.register(strategy)?;
+        Ok(self)
+    }
+
+    /// The session's RPU configuration.
+    pub fn rpu(&self) -> &RpuConfig {
+        &self.rpu
+    }
+
+    /// The session's strategy registry.
+    pub fn registry(&self) -> &StrategyRegistry {
+        &self.registry
+    }
+
+    /// Queues one `(benchmark, strategy)` job on the session RPU.
+    pub fn job(mut self, benchmark: HksBenchmark, strategy: impl Into<StrategySpec>) -> Self {
+        self.jobs.push(Job::new(benchmark, strategy));
+        self
+    }
+
+    /// Queues one fully-described [`Job`].
+    pub fn push(mut self, job: Job) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Queues many jobs at once.
+    pub fn jobs(mut self, jobs: impl IntoIterator<Item = Job>) -> Self {
+        self.jobs.extend(jobs);
+        self
+    }
+
+    /// Number of queued jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Executes every queued job and returns per-job results in submission
+    /// order.
+    ///
+    /// With the default `parallel` feature the jobs fan out across all cores
+    /// through a shared work queue; job isolation is preserved either way —
+    /// a failing (or even panicking) strategy produces an `Err` entry for its
+    /// job and leaves the rest of the batch untouched.
+    pub fn run(&self) -> BatchOutcome {
+        let indexed: Vec<&Job> = self.jobs.iter().collect();
+        let results = crate::parallel::map(indexed, |job| JobResult {
+            label: self.job_label(job),
+            benchmark: job.benchmark,
+            strategy: job.strategy_name(),
+            outcome: self.run_job_isolated(job),
+        });
+        BatchOutcome { results }
+    }
+
+    /// Executes a single job immediately (no panic isolation, no queueing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the job's [`CiflowError`] on strategy-resolution, schedule
+    /// construction, or execution failure.
+    pub fn run_job(&self, job: &Job) -> Result<JobOutput, CiflowError> {
+        let strategy = match &job.strategy {
+            StrategySpec::Named(name) => self.registry.get(name)?,
+            StrategySpec::Inline(strategy) => Arc::clone(strategy),
+        };
+        let rpu = job.rpu.clone().unwrap_or_else(|| self.rpu.clone());
+        let shape = HksShape::new(job.benchmark);
+        let schedule_config = ScheduleConfig {
+            data_memory_bytes: rpu.vector_memory_bytes,
+            evk_policy: rpu.evk_policy,
+        };
+        let schedule = strategy.build(&shape, &schedule_config)?;
+        let engine = RpuEngine::new(rpu.clone());
+        let result = engine.execute(&schedule.graph)?;
+        Ok(JobOutput {
+            benchmark: job.benchmark,
+            strategy: schedule.strategy.clone(),
+            rpu,
+            stats: result.stats,
+            trace: result.trace,
+            schedule,
+        })
+    }
+
+    /// Convenience: queue nothing, run one `(benchmark, strategy)` pair on
+    /// the session RPU, and return its output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the job's [`CiflowError`].
+    pub fn run_one(
+        &self,
+        benchmark: HksBenchmark,
+        strategy: impl Into<StrategySpec>,
+    ) -> Result<JobOutput, CiflowError> {
+        self.run_job(&Job::new(benchmark, strategy))
+    }
+
+    fn job_label(&self, job: &Job) -> String {
+        if let Some(label) = &job.label {
+            return label.clone();
+        }
+        let rpu = job.rpu.as_ref().unwrap_or(&self.rpu);
+        format!(
+            "{}/{}@{}GB/s",
+            job.benchmark.name,
+            job.strategy_name(),
+            rpu.dram_bandwidth_gbps
+        )
+    }
+
+    /// [`Session::run_job`] with a panic boundary: a strategy that panics
+    /// fails its own job instead of tearing down the batch.
+    fn run_job_isolated(&self, job: &Job) -> Result<JobOutput, CiflowError> {
+        match catch_unwind(AssertUnwindSafe(|| self.run_job(job))) {
+            Ok(result) => result,
+            Err(payload) => Err(CiflowError::StrategyPanicked {
+                strategy: job.strategy_name(),
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpu::EvkPolicy;
+
+    #[test]
+    fn single_job_matches_legacy_runner() {
+        let session = Session::new();
+        let output = session
+            .run_one(HksBenchmark::ARK, Dataflow::OutputCentric)
+            .unwrap();
+        let legacy = crate::runner::HksRun::new(HksBenchmark::ARK, Dataflow::OutputCentric)
+            .execute()
+            .unwrap();
+        assert_eq!(output.stats, legacy.stats);
+        assert_eq!(output.schedule, legacy.schedule);
+        assert_eq!(output.strategy, "OC");
+    }
+
+    #[test]
+    fn batch_runs_every_dataflow_benchmark_pair() {
+        let mut session =
+            Session::new().with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(32.0));
+        for benchmark in HksBenchmark::all() {
+            for dataflow in Dataflow::all() {
+                session = session.job(benchmark, dataflow);
+            }
+        }
+        assert_eq!(session.job_count(), 15);
+        let outcome = session.run();
+        assert_eq!(outcome.len(), 15);
+        assert!(
+            outcome.all_ok(),
+            "failures: {:?}",
+            outcome.failures().count()
+        );
+        // Submission order is preserved.
+        assert_eq!(outcome.results[0].strategy, "MP");
+        assert_eq!(outcome.results[2].strategy, "OC");
+        assert_eq!(outcome.results[0].benchmark, HksBenchmark::BTS1);
+        for output in outcome.successes() {
+            assert!(output.runtime_ms() > 0.0);
+        }
+    }
+
+    #[test]
+    fn unknown_strategy_fails_its_job_only() {
+        let outcome = Session::new()
+            .job(HksBenchmark::ARK, "OC")
+            .job(HksBenchmark::ARK, "zig-zag")
+            .run();
+        assert_eq!(outcome.len(), 2);
+        assert!(outcome.results[0].outcome.is_ok());
+        assert!(matches!(
+            outcome.results[1].outcome,
+            Err(CiflowError::UnknownStrategy { .. })
+        ));
+        assert!(!outcome.all_ok());
+        assert_eq!(outcome.successes().count(), 1);
+        assert_eq!(outcome.failures().count(), 1);
+    }
+
+    #[test]
+    fn per_job_rpu_overrides_the_session_rpu() {
+        let outcome = Session::new()
+            .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(64.0))
+            .push(Job::new(HksBenchmark::ARK, "OC"))
+            .push(
+                Job::new(HksBenchmark::ARK, "OC")
+                    .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(8.0))
+                    .with_label("slow-memory"),
+            )
+            .run();
+        let outputs: Vec<&JobOutput> = outcome.successes().collect();
+        assert_eq!(outputs.len(), 2);
+        assert!(outputs[1].runtime_ms() > outputs[0].runtime_ms());
+        assert_eq!(outcome.results[1].label, "slow-memory");
+    }
+
+    #[test]
+    fn panicking_strategy_is_contained() {
+        struct Exploding;
+        impl ScheduleStrategy for Exploding {
+            fn name(&self) -> &str {
+                "exploding"
+            }
+            fn short_name(&self) -> &str {
+                "BOOM"
+            }
+            fn build(
+                &self,
+                _shape: &HksShape,
+                _config: &ScheduleConfig,
+            ) -> Result<Schedule, CiflowError> {
+                panic!("kaboom");
+            }
+        }
+        let outcome = Session::new()
+            .register(Arc::new(Exploding))
+            .unwrap()
+            .job(HksBenchmark::ARK, "BOOM")
+            .job(HksBenchmark::ARK, "OC")
+            .run();
+        assert!(matches!(
+            &outcome.results[0].outcome,
+            Err(CiflowError::StrategyPanicked { message, .. }) if message.contains("kaboom")
+        ));
+        assert!(outcome.results[1].outcome.is_ok());
+    }
+
+    #[test]
+    fn streaming_policy_flows_into_schedule_config() {
+        let output = Session::new()
+            .with_rpu(RpuConfig::ciflow_streaming())
+            .run_one(HksBenchmark::ARK, "OC")
+            .unwrap();
+        assert_eq!(output.rpu.evk_policy, EvkPolicy::Streamed);
+        // Streamed evks appear as DRAM traffic in the schedule.
+        let on_chip = Session::new().run_one(HksBenchmark::ARK, "OC").unwrap();
+        assert!(output.schedule.dram_bytes() > on_chip.schedule.dram_bytes());
+    }
+}

@@ -1,5 +1,16 @@
 //! The CiFlow dataflow taxonomy.
+//!
+//! [`Dataflow`] enumerates the three dataflows the *paper* compares. It is
+//! kept as a convenient, `Copy` handle for the built-ins — but it is a thin
+//! shim: each variant delegates to its [`ScheduleStrategy`] implementation
+//! via [`Dataflow::strategy`], and the open-ended API
+//! ([`StrategyRegistry`](crate::api::StrategyRegistry) /
+//! [`Session`](crate::api::Session)) is where new dataflows plug in without
+//! touching this enum.
 
+use crate::api::{
+    DigitCentricStrategy, MaxParallelStrategy, OutputCentricStrategy, ScheduleStrategy,
+};
 use serde::{Deserialize, Serialize};
 
 /// The three HKS dataflows the paper proposes and compares (§IV).
@@ -32,6 +43,16 @@ impl Dataflow {
         ]
     }
 
+    /// The [`ScheduleStrategy`] implementation behind this dataflow — the
+    /// single dispatch point from the closed enum into the open strategy API.
+    pub fn strategy(&self) -> &'static dyn ScheduleStrategy {
+        match self {
+            Dataflow::MaxParallel => &MaxParallelStrategy,
+            Dataflow::DigitCentric => &DigitCentricStrategy,
+            Dataflow::OutputCentric => &OutputCentricStrategy,
+        }
+    }
+
     /// The short name used in tables and figures.
     pub fn short_name(&self) -> &'static str {
         match self {
@@ -43,17 +64,7 @@ impl Dataflow {
 
     /// A one-sentence description of the scheduling strategy.
     pub fn description(&self) -> &'static str {
-        match self {
-            Dataflow::MaxParallel => {
-                "stage-by-stage over all towers; maximal parallelism, maximal intermediate state"
-            }
-            Dataflow::DigitCentric => {
-                "one digit at a time through ModUp P1-P5; reuses the loaded digit"
-            }
-            Dataflow::OutputCentric => {
-                "one output tower at a time; compresses the intermediate working set and reuses INTT outputs"
-            }
-        }
+        self.strategy().description()
     }
 
     /// Parses a short or long name.
@@ -84,7 +95,10 @@ mod tests {
             assert_eq!(Dataflow::parse(&d.short_name().to_lowercase()), Some(d));
         }
         assert_eq!(Dataflow::parse("bogus"), None);
-        assert_eq!(Dataflow::parse("output-centric"), Some(Dataflow::OutputCentric));
+        assert_eq!(
+            Dataflow::parse("output-centric"),
+            Some(Dataflow::OutputCentric)
+        );
     }
 
     #[test]

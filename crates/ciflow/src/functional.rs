@@ -7,6 +7,7 @@
 //! computing the key switch output-tower-by-output-tower with per-tower basis
 //! conversion slices and comparing against [`ckks::keyswitch::hybrid_key_switch`].
 
+use crate::error::CiflowError;
 use ckks::context::CkksContext;
 use ckks::keys::EvaluationKey;
 use hemath::basis::BasisConverter;
@@ -22,18 +23,57 @@ use std::sync::Arc;
 ///
 /// # Panics
 ///
-/// Panics if `d` is not in the evaluation domain over the live towers of
-/// `level`, or if the evaluation key's digit count disagrees with the
-/// context parameters.
+/// Panics on the precondition failures that
+/// [`try_output_centric_key_switch`] reports as errors.
 pub fn output_centric_key_switch(
     ctx: &CkksContext,
     d: &RnsPolynomial,
     level: usize,
     evk: &EvaluationKey,
 ) -> (RnsPolynomial, RnsPolynomial) {
-    assert_eq!(d.representation(), Representation::Evaluation);
-    assert_eq!(d.tower_count(), level + 1);
-    assert_eq!(evk.digit_count(), ctx.params().dnum());
+    try_output_centric_key_switch(ctx, d, level, evk).expect("valid key-switch input")
+}
+
+/// [`output_centric_key_switch`] with typed precondition errors instead of
+/// panics, for use on library paths.
+///
+/// # Errors
+///
+/// Returns [`CiflowError::InvalidConfig`] if `d` is not in the evaluation
+/// domain over the live towers of `level`, or if the evaluation key's digit
+/// count disagrees with the context parameters.
+pub fn try_output_centric_key_switch(
+    ctx: &CkksContext,
+    d: &RnsPolynomial,
+    level: usize,
+    evk: &EvaluationKey,
+) -> Result<(RnsPolynomial, RnsPolynomial), CiflowError> {
+    if d.representation() != Representation::Evaluation {
+        return Err(CiflowError::InvalidConfig {
+            message: format!(
+                "key-switch input must be in the evaluation domain, found {:?}",
+                d.representation()
+            ),
+        });
+    }
+    if d.tower_count() != level + 1 {
+        return Err(CiflowError::InvalidConfig {
+            message: format!(
+                "key-switch input has {} towers but level {level} requires {}",
+                d.tower_count(),
+                level + 1
+            ),
+        });
+    }
+    if evk.digit_count() != ctx.params().dnum() {
+        return Err(CiflowError::InvalidConfig {
+            message: format!(
+                "evaluation key has {} digits but the parameters use dnum = {}",
+                evk.digit_count(),
+                ctx.params().dnum()
+            ),
+        });
+    }
     let params = ctx.params();
     let n = params.ring_degree();
     let live_digits = params.live_digits(level);
@@ -123,11 +163,15 @@ pub fn output_centric_key_switch(
     // per-tower arithmetic, so reusing the reference here keeps the
     // comparison focused on the ModUp decomposition.
     let extended_basis = ctx.basis_qp_at_level(level);
-    let acc0 = RnsPolynomial::from_towers(extended_basis.clone(), acc0_towers, Representation::Evaluation);
+    let acc0 = RnsPolynomial::from_towers(
+        extended_basis.clone(),
+        acc0_towers,
+        Representation::Evaluation,
+    );
     let acc1 = RnsPolynomial::from_towers(extended_basis, acc1_towers, Representation::Evaluation);
     let k0 = ckks::keyswitch::moddown(ctx, &acc0, level);
     let k1 = ckks::keyswitch::moddown(ctx, &acc1, level);
-    (k0, k1)
+    Ok((k0, k1))
 }
 
 #[cfg(test)]
@@ -165,12 +209,49 @@ mod tests {
                 EvaluationKeyKind::Relinearization,
             );
             let level = ctx.params().max_level();
-            let d = sample_uniform(&mut rng, ctx.basis_q_at_level(level), Representation::Evaluation);
+            let d = sample_uniform(
+                &mut rng,
+                ctx.basis_q_at_level(level),
+                Representation::Evaluation,
+            );
             let (ref0, ref1) = ckks::keyswitch::hybrid_key_switch(&ctx, &d, level, &ksk);
             let (oc0, oc1) = output_centric_key_switch(&ctx, &d, level, &ksk);
             assert_eq!(ref0, oc0, "dnum={dnum}: c0 mismatch");
             assert_eq!(ref1, oc1, "dnum={dnum}: c1 mismatch");
         }
+    }
+
+    #[test]
+    fn invalid_inputs_yield_typed_errors() {
+        use crate::error::CiflowError;
+        let ctx = context(2, 4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let sk_prime = keygen.secret_key(&mut rng);
+        let ksk = keygen.key_switching_key(
+            &mut rng,
+            &sk,
+            &sk_prime.evaluation_form_qp(),
+            EvaluationKeyKind::Relinearization,
+        );
+        let level = ctx.params().max_level();
+        // Wrong representation: coefficient-domain input.
+        let d = sample_uniform(
+            &mut rng,
+            ctx.basis_q_at_level(level),
+            Representation::Coefficient,
+        );
+        let err = try_output_centric_key_switch(&ctx, &d, level, &ksk).unwrap_err();
+        assert!(matches!(err, CiflowError::InvalidConfig { .. }), "{err}");
+        // Wrong tower count for the level.
+        let d = sample_uniform(
+            &mut rng,
+            ctx.basis_q_at_level(level - 1),
+            Representation::Evaluation,
+        );
+        let err = try_output_centric_key_switch(&ctx, &d, level, &ksk).unwrap_err();
+        assert!(err.to_string().contains("towers"), "{err}");
     }
 
     #[test]
@@ -187,7 +268,11 @@ mod tests {
             EvaluationKeyKind::Relinearization,
         );
         for level in [1usize, 3] {
-            let d = sample_uniform(&mut rng, ctx.basis_q_at_level(level), Representation::Evaluation);
+            let d = sample_uniform(
+                &mut rng,
+                ctx.basis_q_at_level(level),
+                Representation::Evaluation,
+            );
             let (ref0, ref1) = ckks::keyswitch::hybrid_key_switch(&ctx, &d, level, &ksk);
             let (oc0, oc1) = output_centric_key_switch(&ctx, &d, level, &ksk);
             assert_eq!(ref0, oc0, "level={level}");

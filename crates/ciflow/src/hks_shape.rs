@@ -188,7 +188,8 @@ impl HksShape {
         // P1: INTT of the K auxiliary towers of both polynomials.
         total += 2 * self.k() as u64 * self.ntt_ops();
         // P2: BConv from K to ℓ towers for both polynomials.
-        total += 2 * (self.bconv_scale_ops(self.k()) + self.ell() as u64 * self.bconv_slice_ops(self.k()));
+        total += 2
+            * (self.bconv_scale_ops(self.k()) + self.ell() as u64 * self.bconv_slice_ops(self.k()));
         // P3: NTT of the ℓ converted towers of both polynomials.
         total += 2 * self.ell() as u64 * self.ntt_ops();
         // P4: subtract and scale by P^{-1} (two point-wise passes per tower).

@@ -9,18 +9,28 @@
 //! kept in a small on-chip memory, evaluated on a task-level model of the RPU
 //! vector processor.
 //!
-//! The crate provides:
+//! The public API is organized around **pluggable scheduling strategies**:
 //!
+//! * [`api`] — the heart of the crate: the [`ScheduleStrategy`] trait every
+//!   dataflow implements, the [`StrategyRegistry`] new dataflows plug into,
+//!   and the [`Session`] batch runner that executes one-or-many
+//!   `(benchmark, strategy)` jobs in parallel across all cores with per-job
+//!   [`Result`]s.
+//! * [`error`] — the [`CiflowError`] hierarchy threaded through every
+//!   library path (wrapping `hemath`, `ckks` and `rpu` failures), so heavy
+//!   batch traffic never panics.
 //! * [`benchmark`] — the five parameter points of the paper's Table III
 //!   (BTS1-3, ARK, DPRIVE).
 //! * [`hks_shape`] — the per-stage geometry and operation counts of one HKS.
-//! * [`dataflow`] / [`schedule`] — the three dataflows (**Max-Parallel**,
-//!   **Digit-Centric**, **Output-Centric**) as task-graph generators with
-//!   explicit on-chip buffer management and evk streaming.
+//! * [`dataflow`] / [`schedule`] — the three built-in dataflows
+//!   (**Max-Parallel**, **Digit-Centric**, **Output-Centric**) as task-graph
+//!   generators with explicit on-chip buffer management and evk streaming;
+//!   [`Dataflow`] is a thin compatibility shim over the strategy API.
 //! * [`analysis`] — DRAM traffic, arithmetic intensity and minimum-memory
 //!   analysis (Tables II and III).
-//! * [`runner`] / [`sweep`] — execution on the RPU model and the bandwidth /
-//!   MODOPS / evk-placement sweeps behind Figures 4–9 and Tables IV–V.
+//! * [`runner`] / [`sweep`] — the legacy single-run wrapper and the
+//!   `Session`-powered bandwidth / MODOPS / evk-placement sweeps behind
+//!   Figures 4–9 and Tables IV–V.
 //! * [`report`] — markdown / CSV / ASCII rendering of every table and figure.
 //! * [`functional`] — bit-exact validation that the Output-Centric
 //!   decomposition computes the same function as the reference CKKS key
@@ -29,36 +39,76 @@
 //! ## Quick example
 //!
 //! ```
-//! use ciflow::benchmark::HksBenchmark;
-//! use ciflow::dataflow::Dataflow;
-//! use ciflow::runner::HksRun;
+//! use ciflow::api::Session;
+//! use ciflow::{Dataflow, HksBenchmark};
 //! use rpu::RpuConfig;
 //!
-//! // How long does one ARK hybrid key switch take under the Output-Centric
-//! // dataflow at DDR4-class bandwidth?
-//! let result = HksRun::new(HksBenchmark::ARK, Dataflow::OutputCentric)
+//! // How do the three dataflows compare on one ARK hybrid key switch at
+//! // DDR4-class bandwidth? One parallel batch, one Result per job.
+//! let session = Session::new()
 //!     .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(12.8))
-//!     .execute()
-//!     .unwrap();
-//! println!("ARK OC @ 12.8 GB/s: {:.2} ms", result.stats.runtime_ms());
-//! assert!(result.stats.runtime_ms() > 0.0);
+//!     .job(HksBenchmark::ARK, Dataflow::MaxParallel)
+//!     .job(HksBenchmark::ARK, Dataflow::DigitCentric)
+//!     .job(HksBenchmark::ARK, Dataflow::OutputCentric);
+//! let outputs = session.run().into_outputs().unwrap();
+//! for output in &outputs {
+//!     println!("ARK {} @ 12.8 GB/s: {:.2} ms", output.strategy, output.runtime_ms());
+//! }
+//! // The paper's core result: OC beats MP when bandwidth is scarce.
+//! assert!(outputs[2].runtime_ms() < outputs[0].runtime_ms());
+//! ```
+//!
+//! ## Plugging in a new dataflow
+//!
+//! Implement [`ScheduleStrategy`], register it, and every consumer — the
+//! session, the sweeps, the explorer example — can use it by name:
+//!
+//! ```
+//! use ciflow::api::{ScheduleStrategy, Session};
+//! use ciflow::schedule::{Schedule, ScheduleConfig};
+//! use ciflow::{CiflowError, Dataflow, HksBenchmark, HksShape};
+//! use std::sync::Arc;
+//!
+//! struct MaxParallelClone;
+//!
+//! impl ScheduleStrategy for MaxParallelClone {
+//!     fn name(&self) -> &str { "mp-clone" }
+//!     fn short_name(&self) -> &str { "MP2" }
+//!     fn build(&self, shape: &HksShape, config: &ScheduleConfig)
+//!         -> Result<Schedule, CiflowError>
+//!     {
+//!         // A real strategy would build its own task graph here.
+//!         Dataflow::MaxParallel.strategy().build(shape, config)
+//!     }
+//! }
+//!
+//! let session = Session::new().register(Arc::new(MaxParallelClone)).unwrap();
+//! let output = session.run_one(HksBenchmark::ARK, "MP2").unwrap();
+//! assert!(output.runtime_ms() > 0.0);
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod api;
 pub mod benchmark;
 pub mod dataflow;
+pub mod error;
 pub mod functional;
 pub mod hks_shape;
+mod parallel;
 pub mod report;
 pub mod runner;
 pub mod schedule;
 pub mod sweep;
 
+pub use api::{
+    BatchOutcome, Job, JobOutput, JobResult, ScheduleStrategy, Session, StrategyRegistry,
+};
 pub use benchmark::HksBenchmark;
 pub use dataflow::Dataflow;
+pub use error::CiflowError;
 pub use hks_shape::{HksShape, HksStage};
 pub use runner::{HksRun, HksRunResult};
 pub use schedule::{build_schedule, Schedule, ScheduleConfig};

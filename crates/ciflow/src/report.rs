@@ -43,7 +43,7 @@ pub fn render_table2(rows: &[TrafficRow]) -> String {
         for dataflow in ["MP", "DC", "OC"] {
             if let Some(r) = rows
                 .iter()
-                .find(|r| r.benchmark == bench && r.dataflow.short_name() == dataflow)
+                .find(|r| r.benchmark == bench && r.dataflow == dataflow)
             {
                 cells.push(format!("{:.0}", r.dram_mib()));
                 cells.push(format!("{:.2}", r.arithmetic_intensity));
@@ -55,7 +55,15 @@ pub fn render_table2(rows: &[TrafficRow]) -> String {
         grouped.push(cells);
     }
     markdown_table(
-        &["Benchmark", "MP MiB", "MP AI", "DC MiB", "DC AI", "OC MiB", "OC AI"],
+        &[
+            "Benchmark",
+            "MP MiB",
+            "MP AI",
+            "DC MiB",
+            "DC AI",
+            "OC MiB",
+            "OC AI",
+        ],
         &grouped,
     )
 }
@@ -78,7 +86,16 @@ pub fn render_table3(rows: &[ParameterRow]) -> String {
         })
         .collect();
     markdown_table(
-        &["Benchmark", "N", "k_l", "k_p", "dnum", "alpha", "evk size", "temp data"],
+        &[
+            "Benchmark",
+            "N",
+            "k_l",
+            "k_p",
+            "dnum",
+            "alpha",
+            "evk size",
+            "temp data",
+        ],
         &cells,
     )
 }
@@ -99,7 +116,14 @@ pub fn render_table4(rows: &[OcBaseRow]) -> String {
         })
         .collect();
     markdown_table(
-        &["Benchmark", "OCbase (GB/s)", "Saved BW", "OC (ms)", "MP (ms)", "OC speedup"],
+        &[
+            "Benchmark",
+            "OCbase (GB/s)",
+            "Saved BW",
+            "OC (ms)",
+            "MP (ms)",
+            "OC speedup",
+        ],
         &cells,
     )
 }
@@ -242,12 +266,18 @@ mod tests {
     fn ascii_chart_contains_markers() {
         let series = SweepSeries {
             benchmark: "ARK",
-            dataflow: "OC",
+            dataflow: "OC".to_string(),
             evk_streamed: false,
             modops: 1.0,
             points: vec![
-                SweepPoint { bandwidth_gbps: 8.0, runtime_ms: 10.0 },
-                SweepPoint { bandwidth_gbps: 64.0, runtime_ms: 2.0 },
+                SweepPoint {
+                    bandwidth_gbps: 8.0,
+                    runtime_ms: 10.0,
+                },
+                SweepPoint {
+                    bandwidth_gbps: 64.0,
+                    runtime_ms: 2.0,
+                },
             ],
         };
         let chart = render_sweep_ascii(&[series], 20, 5);

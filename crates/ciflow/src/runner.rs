@@ -2,9 +2,8 @@
 
 use crate::benchmark::HksBenchmark;
 use crate::dataflow::Dataflow;
-use crate::hks_shape::HksShape;
-use crate::schedule::{build_schedule, Schedule, ScheduleConfig};
-use rpu::{EngineError, ExecutionStats, ExecutionTrace, RpuConfig, RpuEngine};
+use crate::schedule::Schedule;
+use rpu::{EngineError, ExecutionStats, ExecutionTrace, RpuConfig};
 use serde::Serialize;
 
 /// Everything needed to run one benchmark under one dataflow on one RPU
@@ -39,8 +38,8 @@ pub struct HksRunResult {
 pub struct HksRunSummary {
     /// Benchmark name.
     pub benchmark: &'static str,
-    /// Dataflow short name.
-    pub dataflow: &'static str,
+    /// Strategy short name.
+    pub dataflow: String,
     /// Off-chip bandwidth in GB/s.
     pub bandwidth_gbps: f64,
     /// MODOPS multiplier.
@@ -62,7 +61,7 @@ impl HksRunResult {
     pub fn summary(&self, rpu: &RpuConfig) -> HksRunSummary {
         HksRunSummary {
             benchmark: self.benchmark,
-            dataflow: self.dataflow.short_name(),
+            dataflow: self.dataflow.short_name().to_string(),
             bandwidth_gbps: rpu.dram_bandwidth_gbps,
             modops: rpu.modops_multiplier,
             evk_streamed: rpu.evk_policy == rpu::EvkPolicy::Streamed,
@@ -92,25 +91,28 @@ impl HksRun {
 
     /// Builds the schedule and executes it on the RPU engine.
     ///
+    /// Compatibility wrapper: delegates to the session API
+    /// ([`Session::run_one`](crate::api::Session::run_one)), so the
+    /// `RpuConfig` → `ScheduleConfig` derivation lives in exactly one place.
+    ///
     /// # Errors
     ///
     /// Propagates [`EngineError`] if the schedule cannot be executed (which
     /// would indicate a generator bug).
     pub fn execute(&self) -> Result<HksRunResult, EngineError> {
-        let shape = HksShape::new(self.benchmark);
-        let schedule_config = ScheduleConfig {
-            data_memory_bytes: self.rpu.vector_memory_bytes,
-            evk_policy: self.rpu.evk_policy,
-        };
-        let schedule = build_schedule(self.dataflow, &shape, &schedule_config);
-        let engine = RpuEngine::new(self.rpu.clone());
-        let result = engine.execute(&schedule.graph)?;
+        let output = crate::api::Session::new()
+            .with_rpu(self.rpu.clone())
+            .run_one(self.benchmark, self.dataflow)
+            .map_err(|error| match error {
+                crate::error::CiflowError::Engine(e) => e,
+                other => unreachable!("built-in dataflow runs only fail in the engine: {other}"),
+            })?;
         Ok(HksRunResult {
             benchmark: self.benchmark.name,
             dataflow: self.dataflow,
-            stats: result.stats,
-            trace: result.trace,
-            schedule,
+            stats: output.stats,
+            trace: output.trace,
+            schedule: output.schedule,
         })
     }
 }
@@ -128,11 +130,7 @@ pub fn runtime_ms(
     bandwidth_gbps: f64,
     evk_policy: rpu::EvkPolicy,
 ) -> f64 {
-    let rpu = match evk_policy {
-        rpu::EvkPolicy::OnChip => RpuConfig::ciflow_baseline(),
-        rpu::EvkPolicy::Streamed => RpuConfig::ciflow_streaming(),
-    }
-    .with_bandwidth(bandwidth_gbps);
+    let rpu = RpuConfig::ciflow_with_policy(evk_policy).with_bandwidth(bandwidth_gbps);
     HksRun::new(benchmark, dataflow)
         .with_rpu(rpu)
         .execute()
@@ -181,8 +179,18 @@ mod tests {
         // With 1 TB/s the kernel is compute bound and the dataflow no longer
         // matters much (paper §IV: "with unlimited on-chip memory / high
         // bandwidth the performance gap decreases significantly").
-        let mp = runtime_ms(HksBenchmark::ARK, Dataflow::MaxParallel, 1000.0, EvkPolicy::OnChip);
-        let oc = runtime_ms(HksBenchmark::ARK, Dataflow::OutputCentric, 1000.0, EvkPolicy::OnChip);
+        let mp = runtime_ms(
+            HksBenchmark::ARK,
+            Dataflow::MaxParallel,
+            1000.0,
+            EvkPolicy::OnChip,
+        );
+        let oc = runtime_ms(
+            HksBenchmark::ARK,
+            Dataflow::OutputCentric,
+            1000.0,
+            EvkPolicy::OnChip,
+        );
         let ratio = mp / oc;
         assert!(
             (0.8..=1.3).contains(&ratio),
@@ -194,8 +202,16 @@ mod tests {
     fn runtime_decreases_with_bandwidth() {
         let mut last = f64::INFINITY;
         for bw in [8.0, 16.0, 32.0, 64.0, 128.0] {
-            let t = runtime_ms(HksBenchmark::DPRIVE, Dataflow::MaxParallel, bw, EvkPolicy::OnChip);
-            assert!(t <= last * 1.0001, "runtime must not increase with bandwidth");
+            let t = runtime_ms(
+                HksBenchmark::DPRIVE,
+                Dataflow::MaxParallel,
+                bw,
+                EvkPolicy::OnChip,
+            );
+            assert!(
+                t <= last * 1.0001,
+                "runtime must not increase with bandwidth"
+            );
             last = t;
         }
     }

@@ -21,7 +21,7 @@ pub fn build_digit_centric(shape: &HksShape, config: &ScheduleConfig) -> Schedul
     // generator so the two schedules are bit-identical in that case.
     if shape.dnum() == 1 {
         let mut schedule = super::build_max_parallel(shape, config);
-        schedule.dataflow = Dataflow::DigitCentric;
+        schedule.strategy = Dataflow::DigitCentric.short_name().to_string();
         return schedule;
     }
     let mut b = ScheduleBuilder::new(shape, config);
@@ -75,7 +75,12 @@ pub fn build_digit_centric(shape: &HksShape, config: &ScheduleConfig) -> Schedul
                 format!("bconv d{j} ext{e}"),
                 HksStage::ModUpBconv,
             );
-            b.produce(format!("bconv[{j}][{e}]"), tower, slice, HksStage::ModUpBconv);
+            b.produce(
+                format!("bconv[{j}][{e}]"),
+                tower,
+                slice,
+                HksStage::ModUpBconv,
+            );
         }
         for e in 0..beta_j {
             let dep = b.acquire(&format!("bconv[{j}][{e}]"), HksStage::ModUpNtt);
@@ -141,7 +146,7 @@ pub fn build_digit_centric(shape: &HksShape, config: &ScheduleConfig) -> Schedul
     }
 
     emit_moddown_stagewise(&mut b);
-    b.finish(Dataflow::DigitCentric)
+    b.finish(Dataflow::DigitCentric.short_name())
 }
 
 #[cfg(test)]
@@ -184,7 +189,7 @@ mod tests {
         let mp = build_max_parallel(&shape, &streamed_32mb());
         assert_eq!(dc.total_ops(), mp.total_ops());
         assert_eq!(dc.dram_bytes(), mp.dram_bytes());
-        assert_eq!(dc.dataflow, crate::dataflow::Dataflow::DigitCentric);
+        assert_eq!(dc.dataflow(), Some(crate::dataflow::Dataflow::DigitCentric));
     }
 
     #[test]

@@ -65,7 +65,12 @@ pub fn build_max_parallel(shape: &HksShape, config: &ScheduleConfig) -> Schedule
                 format!("bconv d{j} ext{e}"),
                 HksStage::ModUpBconv,
             );
-            b.produce(format!("bconv[{j}][{e}]"), tower, slice, HksStage::ModUpBconv);
+            b.produce(
+                format!("bconv[{j}][{e}]"),
+                tower,
+                slice,
+                HksStage::ModUpBconv,
+            );
         }
         // The INTT outputs of this digit are dead once its BConv is done.
         for t in shape.benchmark.digit_range(j) {
@@ -119,7 +124,12 @@ pub fn build_max_parallel(shape: &HksShape, config: &ScheduleConfig) -> Schedule
                 b.produce(format!("acc0[{t}]"), tower, mul, HksStage::ModUpApplyKey);
                 b.produce(format!("acc1[{t}]"), tower, mul, HksStage::ModUpApplyKey);
             } else {
-                b.produce(format!("part[{j}][{t}]"), two_towers, mul, HksStage::ModUpApplyKey);
+                b.produce(
+                    format!("part[{j}][{t}]"),
+                    two_towers,
+                    mul,
+                    HksStage::ModUpApplyKey,
+                );
             }
         }
         // The extended towers of this digit and the bypassed originals are
@@ -160,7 +170,7 @@ pub fn build_max_parallel(shape: &HksShape, config: &ScheduleConfig) -> Schedule
     // ModDown P1-P4 (shared stage-wise implementation).
     emit_moddown_stagewise(&mut b);
 
-    b.finish(Dataflow::MaxParallel)
+    b.finish(Dataflow::MaxParallel.short_name())
 }
 
 #[cfg(test)]

@@ -56,8 +56,10 @@ impl Default for ScheduleConfig {
 /// Summary of a generated schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Schedule {
-    /// Which dataflow generated it.
-    pub dataflow: Dataflow,
+    /// Short name of the strategy that generated it (`"MP"`, `"DC"`, `"OC"`,
+    /// or the [`ScheduleStrategy::short_name`](crate::api::ScheduleStrategy::short_name)
+    /// of a custom strategy).
+    pub strategy: String,
     /// The task graph to execute.
     pub graph: TaskGraph,
     /// Peak bytes of data memory the schedule keeps resident.
@@ -67,6 +69,12 @@ pub struct Schedule {
 }
 
 impl Schedule {
+    /// The built-in dataflow that generated this schedule, if it was one of
+    /// the three paper dataflows (custom strategies return `None`).
+    pub fn dataflow(&self) -> Option<Dataflow> {
+        Dataflow::parse(&self.strategy)
+    }
+
     /// Total DRAM traffic (loads + stores) in bytes.
     pub fn dram_bytes(&self) -> u64 {
         let (l, s) = self.graph.total_bytes();
@@ -117,13 +125,18 @@ impl Schedule {
     }
 }
 
-/// Generates the schedule for any dataflow.
+/// Generates the schedule for a built-in dataflow.
+///
+/// Compatibility wrapper over the strategy API: delegates to
+/// [`Dataflow::strategy`] and unwraps, which is safe because the built-in
+/// strategies are infallible. For custom strategies (or fallible building),
+/// use [`ScheduleStrategy::build`](crate::api::ScheduleStrategy::build)
+/// directly or run jobs through a [`Session`](crate::api::Session).
 pub fn build_schedule(dataflow: Dataflow, shape: &HksShape, config: &ScheduleConfig) -> Schedule {
-    match dataflow {
-        Dataflow::MaxParallel => build_max_parallel(shape, config),
-        Dataflow::DigitCentric => build_digit_centric(shape, config),
-        Dataflow::OutputCentric => build_output_centric(shape, config),
-    }
+    dataflow
+        .strategy()
+        .build(shape, config)
+        .expect("built-in strategies are infallible")
 }
 
 /// Where a tracked buffer currently lives.
@@ -216,7 +229,8 @@ impl<'a> ScheduleBuilder<'a> {
         label: impl Into<String>,
         stage: HksStage,
     ) -> TaskId {
-        self.graph.push_compute(kind, ops, deps, label, stage.label())
+        self.graph
+            .push_compute(kind, ops, deps, label, stage.label())
     }
 
     /// Registers a buffer produced by `task`. If it fits on-chip it stays
@@ -301,7 +315,12 @@ impl<'a> ScheduleBuilder<'a> {
     /// `digit`, extended tower index `tower` available. Under the on-chip
     /// policy this is free; under the streaming policy it emits a load of the
     /// `(b, a)` tower pair.
-    pub(crate) fn acquire_evk(&mut self, digit: usize, tower: usize, stage: HksStage) -> Vec<TaskId> {
+    pub(crate) fn acquire_evk(
+        &mut self,
+        digit: usize,
+        tower: usize,
+        stage: HksStage,
+    ) -> Vec<TaskId> {
         match self.config.evk_policy {
             EvkPolicy::OnChip => Vec::new(),
             EvkPolicy::Streamed => {
@@ -319,9 +338,9 @@ impl<'a> ScheduleBuilder<'a> {
     }
 
     /// Finishes the schedule.
-    pub(crate) fn finish(self, dataflow: Dataflow) -> Schedule {
+    pub(crate) fn finish(self, strategy: impl Into<String>) -> Schedule {
         Schedule {
-            dataflow,
+            strategy: strategy.into(),
             peak_on_chip_bytes: self.tracker.peak(),
             spill_bytes: self.spill_bytes,
             graph: self.graph,
@@ -354,7 +373,12 @@ pub(crate) fn emit_moddown_stagewise(b: &mut ScheduleBuilder<'_>) {
                 HksStage::ModDownIntt,
             );
             b.release(&name);
-            b.produce(format!("mdintt{poly}[{i}]"), tower, intt, HksStage::ModDownIntt);
+            b.produce(
+                format!("mdintt{poly}[{i}]"),
+                tower,
+                intt,
+                HksStage::ModDownIntt,
+            );
         }
 
         // P2: BConv from P to the ℓ live towers.
@@ -379,7 +403,12 @@ pub(crate) fn emit_moddown_stagewise(b: &mut ScheduleBuilder<'_>) {
                 format!("moddown bconv slice c{poly} {t}"),
                 HksStage::ModDownBconv,
             );
-            b.produce(format!("mdconv{poly}[{t}]"), tower, slice, HksStage::ModDownBconv);
+            b.produce(
+                format!("mdconv{poly}[{t}]"),
+                tower,
+                slice,
+                HksStage::ModDownBconv,
+            );
         }
 
         // P3: NTT of the converted towers.
@@ -393,7 +422,12 @@ pub(crate) fn emit_moddown_stagewise(b: &mut ScheduleBuilder<'_>) {
                 HksStage::ModDownNtt,
             );
             b.release(&format!("mdconv{poly}[{t}]"));
-            b.produce(format!("mdntt{poly}[{t}]"), tower, ntt, HksStage::ModDownNtt);
+            b.produce(
+                format!("mdntt{poly}[{t}]"),
+                tower,
+                ntt,
+                HksStage::ModDownNtt,
+            );
         }
 
         // P4: subtract, scale by P^{-1}, store the final outputs.
@@ -409,7 +443,12 @@ pub(crate) fn emit_moddown_stagewise(b: &mut ScheduleBuilder<'_>) {
             );
             b.release(&format!("acc{poly}[{t}]"));
             b.release(&format!("mdntt{poly}[{t}]"));
-            b.store_output(format!("out{poly}[{t}]"), tower, combine, HksStage::ModDownCombine);
+            b.store_output(
+                format!("out{poly}[{t}]"),
+                tower,
+                combine,
+                HksStage::ModDownCombine,
+            );
         }
         // Release this polynomial's ModDown scratch.
         for i in 0..k {
@@ -456,8 +495,16 @@ mod tests {
             let mp = build_schedule(Dataflow::MaxParallel, &shape, &config).dram_bytes();
             let dc = build_schedule(Dataflow::DigitCentric, &shape, &config).dram_bytes();
             let oc = build_schedule(Dataflow::OutputCentric, &shape, &config).dram_bytes();
-            assert!(oc < dc, "{}: OC ({oc}) must move less than DC ({dc})", bench.name);
-            assert!(dc <= mp, "{}: DC ({dc}) must move at most MP ({mp})", bench.name);
+            assert!(
+                oc < dc,
+                "{}: OC ({oc}) must move less than DC ({dc})",
+                bench.name
+            );
+            assert!(
+                dc <= mp,
+                "{}: DC ({dc}) must move at most MP ({mp})",
+                bench.name
+            );
         }
     }
 
@@ -472,7 +519,9 @@ mod tests {
             let shape = HksShape::new(bench);
             for dataflow in Dataflow::all() {
                 let schedule = build_schedule(dataflow, &shape, &config);
-                let result = engine.execute(&schedule.graph).expect("schedule must execute");
+                let result = engine
+                    .execute(&schedule.graph)
+                    .expect("schedule must execute");
                 assert!(result.stats.runtime_seconds > 0.0);
             }
         }

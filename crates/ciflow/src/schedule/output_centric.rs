@@ -75,7 +75,12 @@ impl ModUpState {
                 b.release(&format!("in[{t}]"));
                 b.declare_dram_input(format!("in[{t}]"), shape.tower_bytes());
             }
-            b.produce(format!("intt[{t}]"), shape.tower_bytes(), intt, HksStage::ModUpIntt);
+            b.produce(
+                format!("intt[{t}]"),
+                shape.tower_bytes(),
+                intt,
+                HksStage::ModUpIntt,
+            );
             self.intt_done.insert(t, ());
         }
         b.acquire(&format!("intt[{t}]"), HksStage::ModUpBconv)
@@ -264,7 +269,9 @@ pub fn build_output_centric(shape: &HksShape, config: &ScheduleConfig) -> Schedu
                 b.produce(format!("pacc1[{p_idx}]"), tower, acc, HksStage::ModUpReduce);
                 // Invalidate the cached task handle if the buffer was spilled;
                 // the next digit will acquire it again.
-                if !b.is_resident(&format!("pacc0[{p_idx}]")) || !b.is_resident(&format!("pacc1[{p_idx}]")) {
+                if !b.is_resident(&format!("pacc0[{p_idx}]"))
+                    || !b.is_resident(&format!("pacc1[{p_idx}]"))
+                {
                     *acc_slot = None;
                 }
             } else {
@@ -302,7 +309,12 @@ pub fn build_output_centric(shape: &HksShape, config: &ScheduleConfig) -> Schedu
                 HksStage::ModDownIntt,
             );
             b.release(&name);
-            b.produce(format!("mdintt{poly}[{i}]"), tower, intt, HksStage::ModDownIntt);
+            b.produce(
+                format!("mdintt{poly}[{i}]"),
+                tower,
+                intt,
+                HksStage::ModDownIntt,
+            );
             mdintt_deps.push(intt);
         }
         let md_scale = b.compute(
@@ -341,14 +353,19 @@ pub fn build_output_centric(shape: &HksShape, config: &ScheduleConfig) -> Schedu
                 HksStage::ModDownCombine,
             );
             b.release(&format!("acc{poly}[{t}]"));
-            b.store_output(format!("out{poly}[{t}]"), tower, combine, HksStage::ModDownCombine);
+            b.store_output(
+                format!("out{poly}[{t}]"),
+                tower,
+                combine,
+                HksStage::ModDownCombine,
+            );
         }
         for i in 0..k {
             b.release(&format!("mdintt{poly}[{i}]"));
         }
     }
 
-    b.finish(Dataflow::OutputCentric)
+    b.finish(Dataflow::OutputCentric.short_name())
 }
 
 #[cfg(test)]

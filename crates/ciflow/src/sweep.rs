@@ -1,8 +1,19 @@
 //! Parameter sweeps: the drivers behind Figures 4–9 and Tables IV–V.
+//!
+//! Every sweep is built on the [`Session`](crate::api::Session) batch API:
+//! the sampled points become jobs, the batch fans out across all cores, and
+//! failures surface as typed [`CiflowError`]s instead of panics. The
+//! historical panicking entry points (`bandwidth_sweep`, `runtime_with`, …)
+//! remain as thin wrappers over the `try_*` functions — the built-in
+//! strategies never fail, so the wrappers only panic on a genuine simulator
+//! bug. Sweeps also accept *custom* strategies: pass an inline
+//! [`StrategySpec`], or resolve a registered name through your own session
+//! with [`try_bandwidth_sweep_in`].
 
+use crate::api::{Job, Session, StrategySpec};
 use crate::benchmark::HksBenchmark;
 use crate::dataflow::Dataflow;
-use crate::runner::runtime_ms;
+use crate::error::CiflowError;
 use rpu::{EvkPolicy, RpuConfig};
 use serde::Serialize;
 
@@ -27,13 +38,13 @@ pub struct SweepPoint {
     pub runtime_ms: f64,
 }
 
-/// A runtime-vs-bandwidth series for one benchmark and dataflow.
+/// A runtime-vs-bandwidth series for one benchmark and strategy.
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepSeries {
     /// Benchmark name.
     pub benchmark: &'static str,
-    /// Dataflow short name.
-    pub dataflow: &'static str,
+    /// Strategy short name.
+    pub dataflow: String,
     /// Whether evks were streamed from DRAM.
     pub evk_streamed: bool,
     /// MODOPS multiplier used.
@@ -42,7 +53,90 @@ pub struct SweepSeries {
     pub points: Vec<SweepPoint>,
 }
 
-/// Runs a runtime-vs-bandwidth sweep (one Figure 4/5/6 curve).
+/// The RPU configuration of one sweep sample.
+fn sweep_rpu(evk_policy: EvkPolicy, bandwidth_gbps: f64, modops: f64) -> RpuConfig {
+    RpuConfig::ciflow_with_policy(evk_policy)
+        .with_bandwidth(bandwidth_gbps)
+        .with_modops(modops)
+}
+
+/// Runs a runtime-vs-bandwidth sweep (one Figure 4/5/6 curve) for a built-in
+/// or [inline](StrategySpec::Inline) strategy, executing all points as one
+/// parallel batch. Names are resolved against the *built-in* registry — to
+/// sweep a strategy registered in your own session, use
+/// [`try_bandwidth_sweep_in`].
+///
+/// # Errors
+///
+/// Returns the first failing point's [`CiflowError`] (unknown strategy,
+/// schedule failure, engine rejection).
+pub fn try_bandwidth_sweep(
+    benchmark: HksBenchmark,
+    strategy: impl Into<StrategySpec>,
+    bandwidths: &[f64],
+    evk_policy: EvkPolicy,
+    modops: f64,
+) -> Result<SweepSeries, CiflowError> {
+    try_bandwidth_sweep_in(
+        &Session::new(),
+        benchmark,
+        strategy,
+        bandwidths,
+        evk_policy,
+        modops,
+    )
+}
+
+/// [`try_bandwidth_sweep`] resolving strategy names through `session`'s
+/// registry, so custom strategies registered with
+/// [`Session::register`](crate::api::Session::register) can be swept by name.
+/// Only the registry is taken from `session`; each point runs on the paper's
+/// RPU for `evk_policy` at its own bandwidth.
+///
+/// # Errors
+///
+/// Returns the first failing point's [`CiflowError`].
+pub fn try_bandwidth_sweep_in(
+    session: &Session,
+    benchmark: HksBenchmark,
+    strategy: impl Into<StrategySpec>,
+    bandwidths: &[f64],
+    evk_policy: EvkPolicy,
+    modops: f64,
+) -> Result<SweepSeries, CiflowError> {
+    let spec: StrategySpec = strategy.into();
+    let sweep_session = Session::new()
+        .with_registry(session.registry().clone())
+        .jobs(bandwidths.iter().map(|&bw| {
+            Job::new(benchmark, spec.clone()).with_rpu(sweep_rpu(evk_policy, bw, modops))
+        }));
+    let outputs = sweep_session.run().into_outputs()?;
+    let dataflow = outputs
+        .first()
+        .map(|o| o.strategy.clone())
+        .unwrap_or_else(|| spec.display_name());
+    let points = bandwidths
+        .iter()
+        .zip(&outputs)
+        .map(|(&bw, output)| SweepPoint {
+            bandwidth_gbps: bw,
+            runtime_ms: output.runtime_ms(),
+        })
+        .collect();
+    Ok(SweepSeries {
+        benchmark: benchmark.name,
+        dataflow,
+        evk_streamed: evk_policy == EvkPolicy::Streamed,
+        modops,
+        points,
+    })
+}
+
+/// Runs a runtime-vs-bandwidth sweep for a built-in dataflow.
+///
+/// # Panics
+///
+/// Panics if a schedule cannot be executed (a simulator bug).
 pub fn bandwidth_sweep(
     benchmark: HksBenchmark,
     dataflow: Dataflow,
@@ -50,23 +144,34 @@ pub fn bandwidth_sweep(
     evk_policy: EvkPolicy,
     modops: f64,
 ) -> SweepSeries {
-    let points = bandwidths
-        .iter()
-        .map(|&bw| SweepPoint {
-            bandwidth_gbps: bw,
-            runtime_ms: runtime_with(benchmark, dataflow, bw, evk_policy, modops),
-        })
-        .collect();
-    SweepSeries {
-        benchmark: benchmark.name,
-        dataflow: dataflow.short_name(),
-        evk_streamed: evk_policy == EvkPolicy::Streamed,
-        modops,
-        points,
-    }
+    try_bandwidth_sweep(benchmark, dataflow, bandwidths, evk_policy, modops)
+        .expect("built-in dataflow sweeps are infallible")
 }
 
 /// Runtime of one configuration with an explicit MODOPS multiplier.
+///
+/// # Errors
+///
+/// Returns a [`CiflowError`] if the strategy is unknown or the schedule
+/// cannot be built or executed.
+pub fn try_runtime_with(
+    benchmark: HksBenchmark,
+    strategy: impl Into<StrategySpec>,
+    bandwidth_gbps: f64,
+    evk_policy: EvkPolicy,
+    modops: f64,
+) -> Result<f64, CiflowError> {
+    let output = Session::new()
+        .with_rpu(sweep_rpu(evk_policy, bandwidth_gbps, modops))
+        .run_one(benchmark, strategy)?;
+    Ok(output.runtime_ms())
+}
+
+/// Runtime of one configuration with an explicit MODOPS multiplier.
+///
+/// # Panics
+///
+/// Panics if the generated schedule cannot be executed (a simulator bug).
 pub fn runtime_with(
     benchmark: HksBenchmark,
     dataflow: Dataflow,
@@ -74,24 +179,14 @@ pub fn runtime_with(
     evk_policy: EvkPolicy,
     modops: f64,
 ) -> f64 {
-    let rpu = match evk_policy {
-        EvkPolicy::OnChip => RpuConfig::ciflow_baseline(),
-        EvkPolicy::Streamed => RpuConfig::ciflow_streaming(),
-    }
-    .with_bandwidth(bandwidth_gbps)
-    .with_modops(modops);
-    crate::runner::HksRun::new(benchmark, dataflow)
-        .with_rpu(rpu)
-        .execute()
-        .expect("schedule must execute")
-        .stats
-        .runtime_ms()
+    try_runtime_with(benchmark, dataflow, bandwidth_gbps, evk_policy, modops)
+        .expect("built-in dataflow runs are infallible")
 }
 
 /// The paper's baseline runtime for a benchmark: MP with evks on-chip at
 /// 64 GB/s.
 pub fn baseline_runtime_ms(benchmark: HksBenchmark) -> f64 {
-    runtime_ms(
+    crate::runner::runtime_ms(
         benchmark,
         Dataflow::MaxParallel,
         BASELINE_BANDWIDTH_GBPS,
@@ -102,6 +197,47 @@ pub fn baseline_runtime_ms(benchmark: HksBenchmark) -> f64 {
 /// Finds the minimum bandwidth (by bisection, within `[lo, hi]` GB/s) at
 /// which the configuration achieves `target_ms` or better. Returns `hi` if
 /// even the upper bound cannot reach the target.
+///
+/// # Errors
+///
+/// Propagates the first probe failure.
+pub fn try_min_bandwidth_for_runtime(
+    benchmark: HksBenchmark,
+    strategy: impl Into<StrategySpec>,
+    evk_policy: EvkPolicy,
+    modops: f64,
+    target_ms: f64,
+    lo: f64,
+    hi: f64,
+) -> Result<f64, CiflowError> {
+    let spec: StrategySpec = strategy.into();
+    let probe = |bw: f64| try_runtime_with(benchmark, spec.clone(), bw, evk_policy, modops);
+    let mut lo = lo;
+    let mut hi = hi;
+    if probe(hi)? > target_ms {
+        return Ok(hi);
+    }
+    if probe(lo)? <= target_ms {
+        return Ok(lo);
+    }
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if probe(mid)? <= target_ms {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if hi - lo < 0.05 {
+            break;
+        }
+    }
+    Ok(hi)
+}
+
+/// Bisection for the minimum bandwidth reaching `target_ms` (built-in
+/// dataflows; panics on simulator bugs). See
+/// [`try_min_bandwidth_for_runtime`].
+#[allow(clippy::too_many_arguments)]
 pub fn min_bandwidth_for_runtime(
     benchmark: HksBenchmark,
     dataflow: Dataflow,
@@ -111,26 +247,8 @@ pub fn min_bandwidth_for_runtime(
     lo: f64,
     hi: f64,
 ) -> f64 {
-    let mut lo = lo;
-    let mut hi = hi;
-    if runtime_with(benchmark, dataflow, hi, evk_policy, modops) > target_ms {
-        return hi;
-    }
-    if runtime_with(benchmark, dataflow, lo, evk_policy, modops) <= target_ms {
-        return lo;
-    }
-    for _ in 0..40 {
-        let mid = 0.5 * (lo + hi);
-        if runtime_with(benchmark, dataflow, mid, evk_policy, modops) <= target_ms {
-            hi = mid;
-        } else {
-            lo = mid;
-        }
-        if hi - lo < 0.05 {
-            break;
-        }
-    }
-    hi
+    try_min_bandwidth_for_runtime(benchmark, dataflow, evk_policy, modops, target_ms, lo, hi)
+        .expect("built-in dataflow bisections are infallible")
 }
 
 /// One row of the Table IV analogue.
@@ -162,13 +280,32 @@ pub fn ocbase_row(benchmark: HksBenchmark) -> OcBaseRow {
         if bw > BASELINE_BANDWIDTH_GBPS {
             break;
         }
-        if runtime_with(benchmark, Dataflow::OutputCentric, bw, EvkPolicy::OnChip, 1.0) <= baseline {
+        if runtime_with(
+            benchmark,
+            Dataflow::OutputCentric,
+            bw,
+            EvkPolicy::OnChip,
+            1.0,
+        ) <= baseline
+        {
             ocbase = bw;
             break;
         }
     }
-    let oc_ms = runtime_with(benchmark, Dataflow::OutputCentric, ocbase, EvkPolicy::OnChip, 1.0);
-    let mp_ms = runtime_with(benchmark, Dataflow::MaxParallel, ocbase, EvkPolicy::OnChip, 1.0);
+    let oc_ms = runtime_with(
+        benchmark,
+        Dataflow::OutputCentric,
+        ocbase,
+        EvkPolicy::OnChip,
+        1.0,
+    );
+    let mp_ms = runtime_with(
+        benchmark,
+        Dataflow::MaxParallel,
+        ocbase,
+        EvkPolicy::OnChip,
+        1.0,
+    );
     OcBaseRow {
         benchmark: benchmark.name,
         ocbase_gbps: ocbase,
@@ -179,9 +316,9 @@ pub fn ocbase_row(benchmark: HksBenchmark) -> OcBaseRow {
     }
 }
 
-/// The full Table IV analogue.
+/// The full Table IV analogue (rows computed in parallel).
 pub fn table4_rows() -> Vec<OcBaseRow> {
-    HksBenchmark::all().into_iter().map(ocbase_row).collect()
+    crate::parallel::map(HksBenchmark::all().to_vec(), ocbase_row)
 }
 
 /// One bar group of the Figure 7 analogue: the bandwidth OC needs when
@@ -205,7 +342,13 @@ pub struct StreamingEquivalenceRow {
 /// Computes the Figure 7 analogue for one benchmark.
 pub fn streaming_equivalence_row(benchmark: HksBenchmark) -> StreamingEquivalenceRow {
     let ocbase = ocbase_row(benchmark).ocbase_gbps;
-    let on_chip_ms = runtime_with(benchmark, Dataflow::OutputCentric, ocbase, EvkPolicy::OnChip, 1.0);
+    let on_chip_ms = runtime_with(
+        benchmark,
+        Dataflow::OutputCentric,
+        ocbase,
+        EvkPolicy::OnChip,
+        1.0,
+    );
     let equivalent = min_bandwidth_for_runtime(
         benchmark,
         Dataflow::OutputCentric,
@@ -246,7 +389,13 @@ pub struct SaturationRow {
 /// MODOPS) no longer improves — the paper identifies 128 GB/s.
 pub fn ark_saturation_point() -> (f64, f64) {
     let bw = 128.0;
-    let runtime = runtime_with(HksBenchmark::ARK, Dataflow::OutputCentric, bw, EvkPolicy::OnChip, 1.0);
+    let runtime = runtime_with(
+        HksBenchmark::ARK,
+        Dataflow::OutputCentric,
+        bw,
+        EvkPolicy::OnChip,
+        1.0,
+    );
     (bw, runtime)
 }
 
@@ -260,34 +409,44 @@ pub fn table5_rows() -> Vec<SaturationRow> {
         modops: 1.0,
         relative_bandwidth: 1.0,
     }];
-    for (label, dataflow) in [
-        ("OC", Dataflow::OutputCentric),
-        ("DC", Dataflow::DigitCentric),
-        ("MP", Dataflow::MaxParallel),
-    ] {
-        let bw = min_bandwidth_for_runtime(
-            HksBenchmark::ARK,
-            dataflow,
-            EvkPolicy::OnChip,
-            2.0,
-            sat_runtime,
-            4.0,
-            1024.0,
-        );
-        rows.push(SaturationRow {
-            label,
-            bandwidth_gbps: bw,
-            modops: 2.0,
-            relative_bandwidth: bw / sat_bw,
-        });
-    }
+    let dataflow_rows = crate::parallel::map(
+        vec![
+            ("OC", Dataflow::OutputCentric),
+            ("DC", Dataflow::DigitCentric),
+            ("MP", Dataflow::MaxParallel),
+        ],
+        |(label, dataflow)| {
+            let bw = min_bandwidth_for_runtime(
+                HksBenchmark::ARK,
+                dataflow,
+                EvkPolicy::OnChip,
+                2.0,
+                sat_runtime,
+                4.0,
+                1024.0,
+            );
+            SaturationRow {
+                label,
+                bandwidth_gbps: bw,
+                modops: 2.0,
+                relative_bandwidth: bw / sat_bw,
+            }
+        },
+    );
+    rows.extend(dataflow_rows);
     rows
 }
 
 /// A MODOPS sweep series (one Figure 8 curve): runtime vs bandwidth at a
 /// fixed MODOPS multiplier for ARK under OC with evks on-chip.
 pub fn modops_sweep(benchmark: HksBenchmark, modops: f64, bandwidths: &[f64]) -> SweepSeries {
-    bandwidth_sweep(benchmark, Dataflow::OutputCentric, bandwidths, EvkPolicy::OnChip, modops)
+    bandwidth_sweep(
+        benchmark,
+        Dataflow::OutputCentric,
+        bandwidths,
+        EvkPolicy::OnChip,
+        modops,
+    )
 }
 
 /// One point of the Figure 9 analogue: a `(bandwidth, MODOPS)` pair that
@@ -301,29 +460,26 @@ pub struct EquivalentConfig {
 }
 
 /// Finds, for each MODOPS multiplier, the bandwidth needed to match a target
-/// runtime while streaming evks (the Figure 9 analysis).
+/// runtime while streaming evks (the Figure 9 analysis). Multipliers are
+/// searched in parallel.
 pub fn equivalent_configs(
     benchmark: HksBenchmark,
     target_ms: f64,
     modops_ladder: &[f64],
 ) -> Vec<EquivalentConfig> {
-    modops_ladder
-        .iter()
-        .map(|&m| EquivalentConfig {
-            modops: m,
-            bandwidth_gbps: min_bandwidth_for_runtime(
-                benchmark,
-                Dataflow::OutputCentric,
-                EvkPolicy::Streamed,
-                m,
-                target_ms,
-                2.0,
-                1024.0,
-            ),
-        })
-        .collect()
+    crate::parallel::map(modops_ladder.to_vec(), |m| EquivalentConfig {
+        modops: m,
+        bandwidth_gbps: min_bandwidth_for_runtime(
+            benchmark,
+            Dataflow::OutputCentric,
+            EvkPolicy::Streamed,
+            m,
+            target_ms,
+            2.0,
+            1024.0,
+        ),
+    })
 }
-
 
 /// One point of an on-chip-memory ablation: DRAM traffic and runtime as a
 /// function of the data-memory capacity.
@@ -343,37 +499,32 @@ pub struct MemorySweepPoint {
 /// on-chip data-memory capacity and report how much DRAM traffic and runtime
 /// each dataflow pays at each size. This exposes the capacity at which each
 /// dataflow stops spilling — the quantity behind the paper's 675 MB (MP) /
-/// 255 MB (DC) / 32 MB (OC) discussion.
+/// 255 MB (DC) / 32 MB (OC) discussion. Capacities run as one parallel batch.
 pub fn memory_sweep(
     benchmark: HksBenchmark,
     dataflow: Dataflow,
     capacities_mib: &[u64],
     bandwidth_gbps: f64,
 ) -> Vec<MemorySweepPoint> {
-    use crate::hks_shape::HksShape;
-    use crate::schedule::{build_schedule, ScheduleConfig};
-    let shape = HksShape::new(benchmark);
+    let session = Session::new().jobs(capacities_mib.iter().map(|&mib| {
+        Job::new(benchmark, dataflow).with_rpu(
+            RpuConfig::ciflow_streaming()
+                .with_bandwidth(bandwidth_gbps)
+                .with_vector_memory(mib * rpu::MIB),
+        )
+    }));
+    let outputs = session
+        .run()
+        .into_outputs()
+        .expect("built-in dataflow sweeps are infallible");
     capacities_mib
         .iter()
-        .map(|&mib| {
-            let config = ScheduleConfig {
-                data_memory_bytes: mib * rpu::MIB,
-                evk_policy: EvkPolicy::Streamed,
-            };
-            let schedule = build_schedule(dataflow, &shape, &config);
-            let rpu_config = RpuConfig::ciflow_streaming()
-                .with_bandwidth(bandwidth_gbps)
-                .with_vector_memory(mib * rpu::MIB);
-            let stats = rpu::RpuEngine::new(rpu_config)
-                .execute(&schedule.graph)
-                .expect("schedule must execute")
-                .stats;
-            MemorySweepPoint {
-                data_memory_mib: mib,
-                dram_mib: schedule.dram_bytes() as f64 / rpu::MIB as f64,
-                runtime_ms: stats.runtime_ms(),
-                spill_mib: schedule.spill_bytes as f64 / rpu::MIB as f64,
-            }
+        .zip(outputs)
+        .map(|(&mib, output)| MemorySweepPoint {
+            data_memory_mib: mib,
+            dram_mib: output.schedule.dram_bytes() as f64 / rpu::MIB as f64,
+            runtime_ms: output.runtime_ms(),
+            spill_mib: output.schedule.spill_bytes as f64 / rpu::MIB as f64,
         })
         .collect()
 }
@@ -395,6 +546,21 @@ mod tests {
         for w in series.points.windows(2) {
             assert!(w[1].runtime_ms <= w[0].runtime_ms * 1.0001);
         }
+    }
+
+    #[test]
+    fn try_sweep_reports_unknown_strategies() {
+        let result = try_bandwidth_sweep(
+            HksBenchmark::ARK,
+            "not-a-strategy",
+            &[8.0, 16.0],
+            EvkPolicy::OnChip,
+            1.0,
+        );
+        assert!(matches!(
+            result,
+            Err(crate::error::CiflowError::UnknownStrategy { .. })
+        ));
     }
 
     #[test]
@@ -427,7 +593,11 @@ mod tests {
         let row = streaming_equivalence_row(HksBenchmark::ARK);
         assert!((row.sram_saving - 12.25).abs() < 1e-9);
         assert!(row.extra_bandwidth >= 1.0);
-        assert!(row.extra_bandwidth <= 6.0, "extra bandwidth {:.2}", row.extra_bandwidth);
+        assert!(
+            row.extra_bandwidth <= 6.0,
+            "extra bandwidth {:.2}",
+            row.extra_bandwidth
+        );
     }
 
     #[test]
@@ -435,8 +605,20 @@ mod tests {
         // Figure 9 intuition: with more compute, the same performance needs
         // less bandwidth only once compute-bound; conversely at a fixed
         // bandwidth the runtime improves (or stays equal) with more MODOPS.
-        let slow = runtime_with(HksBenchmark::ARK, Dataflow::OutputCentric, 256.0, EvkPolicy::OnChip, 1.0);
-        let fast = runtime_with(HksBenchmark::ARK, Dataflow::OutputCentric, 256.0, EvkPolicy::OnChip, 2.0);
+        let slow = runtime_with(
+            HksBenchmark::ARK,
+            Dataflow::OutputCentric,
+            256.0,
+            EvkPolicy::OnChip,
+            1.0,
+        );
+        let fast = runtime_with(
+            HksBenchmark::ARK,
+            Dataflow::OutputCentric,
+            256.0,
+            EvkPolicy::OnChip,
+            2.0,
+        );
         assert!(fast < slow);
         let (_, sat_runtime) = ark_saturation_point();
         let configs = equivalent_configs(HksBenchmark::ARK, sat_runtime * 1.02, &[1.0, 2.0]);
@@ -446,7 +628,12 @@ mod tests {
     #[test]
     fn memory_sweep_traffic_is_monotone_in_capacity() {
         // More on-chip memory can only remove spills, never add them.
-        let points = memory_sweep(HksBenchmark::ARK, Dataflow::MaxParallel, &[8, 16, 32, 64, 256], 64.0);
+        let points = memory_sweep(
+            HksBenchmark::ARK,
+            Dataflow::MaxParallel,
+            &[8, 16, 32, 64, 256],
+            64.0,
+        );
         for w in points.windows(2) {
             assert!(w[1].dram_mib <= w[0].dram_mib + 1e-9);
             assert!(w[1].spill_mib <= w[0].spill_mib + 1e-9);
@@ -460,7 +647,12 @@ mod tests {
     #[test]
     fn table5_mp_needs_more_bandwidth_than_oc() {
         let rows = table5_rows();
-        let get = |label: &str| rows.iter().find(|r| r.label == label).unwrap().bandwidth_gbps;
+        let get = |label: &str| {
+            rows.iter()
+                .find(|r| r.label == label)
+                .unwrap()
+                .bandwidth_gbps
+        };
         assert!(get("OC") <= get("DC"));
         assert!(get("DC") <= get("MP"));
     }

@@ -65,7 +65,10 @@ mod tests {
     fn byte_size_counts_both_components() {
         let n = 64;
         let primes = generate_ntt_primes(40, n, 3, &[]).unwrap();
-        let moduli = primes.into_iter().map(|q| Modulus::new(q).unwrap()).collect();
+        let moduli = primes
+            .into_iter()
+            .map(|q| Modulus::new(q).unwrap())
+            .collect();
         let basis = Arc::new(RnsBasis::new(n, moduli).unwrap());
         let ct = Ciphertext {
             c0: RnsPolynomial::zero(basis.clone(), Representation::Evaluation),

@@ -35,6 +35,7 @@ impl Complex {
     }
 
     /// Complex multiplication.
+    #[allow(clippy::should_implement_trait)] // compat: kept alongside the std op impls
     pub fn mul(self, other: Complex) -> Complex {
         Complex {
             re: self.re * other.re - self.im * other.im,
@@ -43,6 +44,7 @@ impl Complex {
     }
 
     /// Complex addition.
+    #[allow(clippy::should_implement_trait)] // compat: kept alongside the std op impls
     pub fn add(self, other: Complex) -> Complex {
         Complex {
             re: self.re + other.re,
@@ -51,6 +53,7 @@ impl Complex {
     }
 
     /// Complex subtraction.
+    #[allow(clippy::should_implement_trait)] // compat: kept alongside the std op impls
     pub fn sub(self, other: Complex) -> Complex {
         Complex {
             re: self.re - other.re,
@@ -70,6 +73,27 @@ impl Complex {
     pub fn distance(self, other: Complex) -> f64 {
         let d = self.sub(other);
         (d.re * d.re + d.im * d.im).sqrt()
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, other: Complex) -> Complex {
+        Complex::add(self, other)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, other: Complex) -> Complex {
+        Complex::sub(self, other)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, other: Complex) -> Complex {
+        Complex::mul(self, other)
     }
 }
 
@@ -358,7 +382,9 @@ mod tests {
         // Encoding is linear: encode(a) + encode(b) decodes to a + b.
         let (params, encoder, basis) = setup();
         let a: Vec<f64> = (0..encoder.slot_count()).map(|i| i as f64 * 0.01).collect();
-        let b: Vec<f64> = (0..encoder.slot_count()).map(|i| 1.0 - i as f64 * 0.02).collect();
+        let b: Vec<f64> = (0..encoder.slot_count())
+            .map(|i| 1.0 - i as f64 * 0.02)
+            .collect();
         let pa = encoder.encode_real(&a, params.scale(), basis.clone());
         let pb = encoder.encode_real(&b, params.scale(), basis);
         let sum_poly = pa.poly.add(&pb.poly).unwrap();

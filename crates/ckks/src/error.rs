@@ -1,0 +1,106 @@
+//! The crate-wide error type.
+//!
+//! Each module keeps its precise error enum
+//! ([`ParameterError`](crate::params::ParameterError),
+//! [`ContextError`](crate::context::ContextError),
+//! [`OpsError`](crate::ops::OpsError)); [`CkksError`] unifies them — together
+//! with the [`hemath`](hemath::HemathError) substrate errors — so callers and
+//! downstream crates (notably `ciflow`) can propagate any CKKS failure with a
+//! single `?`.
+
+use crate::context::ContextError;
+use crate::ops::OpsError;
+use crate::params::ParameterError;
+use hemath::HemathError;
+
+/// Any error raised by this crate's public API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CkksError {
+    /// A parameter set was rejected.
+    Parameter(ParameterError),
+    /// A context could not be built from valid-looking parameters.
+    Context(ContextError),
+    /// A homomorphic operation failed.
+    Ops(OpsError),
+    /// The underlying RNS/NTT arithmetic failed.
+    Math(HemathError),
+}
+
+impl std::fmt::Display for CkksError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkksError::Parameter(e) => write!(f, "parameter error: {e}"),
+            CkksError::Context(e) => write!(f, "context error: {e}"),
+            CkksError::Ops(e) => write!(f, "operation error: {e}"),
+            CkksError::Math(e) => write!(f, "arithmetic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkksError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkksError::Parameter(e) => Some(e),
+            CkksError::Context(e) => Some(e),
+            CkksError::Ops(e) => Some(e),
+            CkksError::Math(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParameterError> for CkksError {
+    fn from(e: ParameterError) -> Self {
+        CkksError::Parameter(e)
+    }
+}
+
+impl From<ContextError> for CkksError {
+    fn from(e: ContextError) -> Self {
+        CkksError::Context(e)
+    }
+}
+
+impl From<OpsError> for CkksError {
+    fn from(e: OpsError) -> Self {
+        CkksError::Ops(e)
+    }
+}
+
+impl From<HemathError> for CkksError {
+    fn from(e: HemathError) -> Self {
+        CkksError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CkksContext;
+    use crate::params::CkksParametersBuilder;
+
+    #[test]
+    fn question_mark_chains_through_both_layers() {
+        fn build() -> Result<std::sync::Arc<CkksContext>, CkksError> {
+            let params = CkksParametersBuilder::new()
+                .ring_degree(1 << 7)
+                .q_tower_bits(vec![36, 36])
+                .p_tower_bits(vec![45])
+                .dnum(1)
+                .scale_bits(36)
+                .build()?;
+            Ok(CkksContext::new(params)?)
+        }
+        assert!(build().is_ok());
+
+        let bad = CkksParametersBuilder::new()
+            .ring_degree(100) // not a power of two
+            .q_tower_bits(vec![36])
+            .p_tower_bits(vec![45])
+            .dnum(1)
+            .scale_bits(36)
+            .build()
+            .map_err(CkksError::from);
+        assert!(matches!(bad, Err(CkksError::Parameter(_))));
+        assert!(!bad.unwrap_err().to_string().is_empty());
+    }
+}

@@ -70,7 +70,10 @@ mod tests {
 
     fn basis(n: usize, towers: usize) -> Arc<RnsBasis> {
         let primes = generate_ntt_primes(40, n, towers, &[]).unwrap();
-        let moduli = primes.into_iter().map(|q| Modulus::new(q).unwrap()).collect();
+        let moduli = primes
+            .into_iter()
+            .map(|q| Modulus::new(q).unwrap())
+            .collect();
         Arc::new(RnsBasis::new(n, moduli).unwrap())
     }
 

@@ -29,7 +29,9 @@ impl SecretKey {
     /// The secret in the evaluation domain, restricted to the first
     /// `level + 1` `Q` towers.
     pub fn evaluation_form_q(&self, ctx: &CkksContext, level: usize) -> RnsPolynomial {
-        let towers: Vec<Vec<u64>> = (0..=level).map(|i| self.s_coeff.tower(i).to_vec()).collect();
+        let towers: Vec<Vec<u64>> = (0..=level)
+            .map(|i| self.s_coeff.tower(i).to_vec())
+            .collect();
         let mut p = RnsPolynomial::from_towers(
             ctx.basis_q_at_level(level),
             towers,
@@ -164,7 +166,11 @@ impl KeyGenerator {
         let level = self.ctx.params().max_level();
         let s = sk.evaluation_form_q(&self.ctx, level);
         let a = sample_uniform(rng, self.ctx.basis_q().clone(), Representation::Evaluation);
-        let mut e = sample_error(rng, self.ctx.basis_q().clone(), self.ctx.params().error_eta());
+        let mut e = sample_error(
+            rng,
+            self.ctx.basis_q().clone(),
+            self.ctx.params().error_eta(),
+        );
         e.to_evaluation();
         // b = -a*s + e
         let mut b = a.mul(&s).expect("same basis");
@@ -174,7 +180,11 @@ impl KeyGenerator {
     }
 
     /// Generates the relinearization key (switches `s² → s`).
-    pub fn relinearization_key<R: Rng + ?Sized>(&self, rng: &mut R, sk: &SecretKey) -> EvaluationKey {
+    pub fn relinearization_key<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sk: &SecretKey,
+    ) -> EvaluationKey {
         let s_qp = sk.evaluation_form_qp();
         let s_squared = s_qp.mul(&s_qp).expect("same basis");
         self.key_switching_key(rng, sk, &s_squared, EvaluationKeyKind::Relinearization)
@@ -325,7 +335,8 @@ mod tests {
         let sk = keygen.secret_key(&mut rng);
         let s_qp = sk.evaluation_form_qp();
         let s_sq = s_qp.mul(&s_qp).unwrap();
-        let rlk = keygen.key_switching_key(&mut rng, &sk, &s_sq, EvaluationKeyKind::Relinearization);
+        let rlk =
+            keygen.key_switching_key(&mut rng, &sk, &s_sq, EvaluationKeyKind::Relinearization);
         let max_level = c.params().max_level();
         for j in 0..rlk.digit_count() {
             let (b, a) = rlk.digit(j);

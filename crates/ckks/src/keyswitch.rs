@@ -68,7 +68,9 @@ pub fn modup_digit(
         if pos < complement.len() {
             ctx.basis_q().ntt_table(complement[pos]).forward(tower);
         } else {
-            ctx.basis_p().ntt_table(pos - complement.len()).forward(tower);
+            ctx.basis_p()
+                .ntt_table(pos - complement.len())
+                .forward(tower);
         }
     }
 
@@ -131,14 +133,14 @@ pub fn moddown(ctx: &CkksContext, x: &RnsPolynomial, level: usize) -> RnsPolynom
 
     // P4: out_i = (x_i - conv_i) * P^{-1} mod q_i.
     let mut towers = Vec::with_capacity(level + 1);
-    for i in 0..=level {
+    for (i, conv_tower) in converted_eval.iter().enumerate().take(level + 1) {
         let qi = &ctx.basis_q().moduli()[i];
         let p_inv = ctx.p_inv_mod_q()[i];
         let p_inv_shoup = qi.shoup(p_inv);
         let tower: Vec<u64> = x
             .tower(i)
             .iter()
-            .zip(&converted_eval[i])
+            .zip(conv_tower)
             .map(|(&a, &b)| qi.mul_shoup(qi.sub(a, b), p_inv, p_inv_shoup))
             .collect();
         towers.push(tower);
@@ -271,7 +273,10 @@ mod tests {
             // Error bound: dnum * N * eta * q_digit / P plus rounding; with
             // these parameters anything below 2^24 is decisively "small"
             // compared to the 36-bit moduli.
-            assert!(err < 1 << 24, "dnum={dnum}: key switch error {err} too large");
+            assert!(
+                err < 1 << 24,
+                "dnum={dnum}: key switch error {err} too large"
+            );
         }
     }
 
@@ -280,7 +285,10 @@ mod tests {
         let ctx = make_ctx(3);
         for level in [1usize, 2, 4] {
             let err = key_switch_identity_error(&ctx, level, 3);
-            assert!(err < 1 << 24, "level={level}: key switch error {err} too large");
+            assert!(
+                err < 1 << 24,
+                "level={level}: key switch error {err} too large"
+            );
         }
     }
 
@@ -297,7 +305,11 @@ mod tests {
                 level + 1 + ctx.params().aux_tower_count()
             );
             for i in ctx.params().digit_towers(digit, level) {
-                assert_eq!(extended.tower(i), d.tower(i), "digit tower {i} must be bypassed");
+                assert_eq!(
+                    extended.tower(i),
+                    d.tower(i),
+                    "digit tower {i} must be bypassed"
+                );
             }
         }
     }

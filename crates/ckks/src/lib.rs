@@ -59,6 +59,7 @@ pub mod ciphertext;
 pub mod context;
 pub mod encoding;
 pub mod encrypt;
+pub mod error;
 pub mod galois;
 pub mod keys;
 pub mod keyswitch;
@@ -68,5 +69,6 @@ pub mod params;
 pub use ciphertext::{Ciphertext, TripleCiphertext};
 pub use context::CkksContext;
 pub use encoding::{CkksEncoder, Complex, Plaintext};
+pub use error::CkksError;
 pub use keys::{EvaluationKey, EvaluationKeyKind, KeyGenerator, PublicKey, SecretKey};
 pub use params::{CkksParameters, CkksParametersBuilder};

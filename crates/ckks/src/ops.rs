@@ -370,8 +370,18 @@ mod tests {
         let scale = f.ctx.params().scale();
         let sk = f.keygen.secret_key(&mut f.rng);
         let pk = f.keygen.public_key(&mut f.rng, &sk);
-        let cta = encrypt(&f.ctx, &mut f.rng, &pk, &f.encoder.encode(&ma, scale, f.ctx.basis_q().clone()));
-        let ctb = encrypt(&f.ctx, &mut f.rng, &pk, &f.encoder.encode(&mb, scale, f.ctx.basis_q().clone()));
+        let cta = encrypt(
+            &f.ctx,
+            &mut f.rng,
+            &pk,
+            &f.encoder.encode(&ma, scale, f.ctx.basis_q().clone()),
+        );
+        let ctb = encrypt(
+            &f.ctx,
+            &mut f.rng,
+            &pk,
+            &f.encoder.encode(&mb, scale, f.ctx.basis_q().clone()),
+        );
         let sum = add(&cta, &ctb).unwrap();
         let diff = sub(&cta, &ctb).unwrap();
         let dec_sum = f.encoder.decode(&decrypt(&f.ctx, &sk, &sum));
@@ -391,8 +401,18 @@ mod tests {
         let sk = f.keygen.secret_key(&mut f.rng);
         let pk = f.keygen.public_key(&mut f.rng, &sk);
         let rlk = f.keygen.relinearization_key(&mut f.rng, &sk);
-        let cta = encrypt(&f.ctx, &mut f.rng, &pk, &f.encoder.encode(&ma, scale, f.ctx.basis_q().clone()));
-        let ctb = encrypt(&f.ctx, &mut f.rng, &pk, &f.encoder.encode(&mb, scale, f.ctx.basis_q().clone()));
+        let cta = encrypt(
+            &f.ctx,
+            &mut f.rng,
+            &pk,
+            &f.encoder.encode(&ma, scale, f.ctx.basis_q().clone()),
+        );
+        let ctb = encrypt(
+            &f.ctx,
+            &mut f.rng,
+            &pk,
+            &f.encoder.encode(&mb, scale, f.ctx.basis_q().clone()),
+        );
         let prod = multiply(&f.ctx, &cta, &ctb, &rlk).unwrap();
         assert_eq!(prod.level, f.ctx.params().max_level());
         let rescaled = rescale(&f.ctx, &prod).unwrap();
@@ -413,7 +433,12 @@ mod tests {
         let pk = f.keygen.public_key(&mut f.rng, &sk);
         for steps in [1i64, 3, 8] {
             let rot_key = f.keygen.rotation_key(&mut f.rng, &sk, steps);
-            let ct = encrypt(&f.ctx, &mut f.rng, &pk, &f.encoder.encode(&ma, scale, f.ctx.basis_q().clone()));
+            let ct = encrypt(
+                &f.ctx,
+                &mut f.rng,
+                &pk,
+                &f.encoder.encode(&ma, scale, f.ctx.basis_q().clone()),
+            );
             let rotated = rotate(&f.ctx, &ct, steps, &rot_key).unwrap();
             let decoded = f.encoder.decode(&decrypt(&f.ctx, &sk, &rotated));
             let expected: Vec<Complex> = (0..slots)
@@ -434,8 +459,18 @@ mod tests {
         let pk = f.keygen.public_key(&mut f.rng, &sk);
         let rlk = f.keygen.relinearization_key(&mut f.rng, &sk);
         let rot_key = f.keygen.rotation_key(&mut f.rng, &sk, 2);
-        let cta = encrypt(&f.ctx, &mut f.rng, &pk, &f.encoder.encode(&ma, scale, f.ctx.basis_q().clone()));
-        let ctb = encrypt(&f.ctx, &mut f.rng, &pk, &f.encoder.encode(&mb, scale, f.ctx.basis_q().clone()));
+        let cta = encrypt(
+            &f.ctx,
+            &mut f.rng,
+            &pk,
+            &f.encoder.encode(&ma, scale, f.ctx.basis_q().clone()),
+        );
+        let ctb = encrypt(
+            &f.ctx,
+            &mut f.rng,
+            &pk,
+            &f.encoder.encode(&mb, scale, f.ctx.basis_q().clone()),
+        );
         let prod = rescale(&f.ctx, &multiply(&f.ctx, &cta, &ctb, &rlk).unwrap()).unwrap();
         let rotated = rotate(&f.ctx, &prod, 2, &rot_key).unwrap();
         let decoded = f.encoder.decode(&decrypt(&f.ctx, &sk, &rotated));
@@ -458,7 +493,12 @@ mod tests {
         let scale = f.ctx.params().scale();
         let sk = f.keygen.secret_key(&mut f.rng);
         let pk = f.keygen.public_key(&mut f.rng, &sk);
-        let ct = encrypt(&f.ctx, &mut f.rng, &pk, &f.encoder.encode(&ma, scale, f.ctx.basis_q().clone()));
+        let ct = encrypt(
+            &f.ctx,
+            &mut f.rng,
+            &pk,
+            &f.encoder.encode(&ma, scale, f.ctx.basis_q().clone()),
+        );
         let pt = f.encoder.encode(&mb, scale, f.ctx.basis_q().clone());
         let sum = add_plain(&ct, &pt);
         let decoded_sum = f.encoder.decode(&decrypt(&f.ctx, &sk, &sum));
@@ -481,7 +521,12 @@ mod tests {
         let pk = f.keygen.public_key(&mut f.rng, &sk);
         let rlk = f.keygen.relinearization_key(&mut f.rng, &sk);
         let rot1 = f.keygen.rotation_key(&mut f.rng, &sk, 1);
-        let ct = encrypt(&f.ctx, &mut f.rng, &pk, &f.encoder.encode(&ma, scale, f.ctx.basis_q().clone()));
+        let ct = encrypt(
+            &f.ctx,
+            &mut f.rng,
+            &pk,
+            &f.encoder.encode(&ma, scale, f.ctx.basis_q().clone()),
+        );
         let lower = rescale(&f.ctx, &multiply(&f.ctx, &ct, &ct, &rlk).unwrap()).unwrap();
         assert!(matches!(
             add(&ct, &lower),
@@ -496,6 +541,9 @@ mod tests {
         while current.level > 0 {
             current = rescale(&f.ctx, &current).unwrap();
         }
-        assert_eq!(rescale(&f.ctx, &current).unwrap_err(), OpsError::CannotRescale);
+        assert_eq!(
+            rescale(&f.ctx, &current).unwrap_err(),
+            OpsError::CannotRescale
+        );
     }
 }

@@ -66,7 +66,11 @@ impl BasisConverter {
         assert_eq!(source.degree(), target.degree(), "degree mismatch");
         for qs in source.moduli() {
             for pt in target.moduli() {
-                assert_ne!(qs.value(), pt.value(), "source and target moduli must be disjoint");
+                assert_ne!(
+                    qs.value(),
+                    pt.value(),
+                    "source and target moduli must be disjoint"
+                );
             }
         }
         let ell = source.tower_count();
@@ -166,10 +170,10 @@ impl BasisConverter {
         let mut out = vec![vec![0u64; n]; k];
         for (j, out_tower) in out.iter_mut().enumerate() {
             let pj = &self.target.moduli()[j];
-            for i in 0..ell {
-                let factor = self.q_hat_mod_target[i][j];
+            for (scaled_tower, factors) in scaled.iter().zip(&self.q_hat_mod_target) {
+                let factor = factors[j];
                 let fs = pj.shoup(factor);
-                for (o, &y) in out_tower.iter_mut().zip(&scaled[i]) {
+                for (o, &y) in out_tower.iter_mut().zip(scaled_tower) {
                     let term = pj.mul_shoup(pj.reduce(y), factor, fs);
                     *o = pj.add(*o, term);
                 }
@@ -196,7 +200,9 @@ impl BasisConverter {
             Representation::Coefficient,
             "basis conversion requires the coefficient domain"
         );
-        let towers: Vec<Vec<u64>> = (0..poly.tower_count()).map(|i| poly.tower(i).to_vec()).collect();
+        let towers: Vec<Vec<u64>> = (0..poly.tower_count())
+            .map(|i| poly.tower(i).to_vec())
+            .collect();
         let out = self.convert_towers(&towers);
         RnsPolynomial::from_towers(self.target.clone(), out, Representation::Coefficient)
     }
@@ -256,7 +262,11 @@ mod tests {
     fn make_bases(n: usize, ell: usize, k: usize) -> (Arc<RnsBasis>, Arc<RnsBasis>) {
         let qs = generate_ntt_primes(40, n, ell, &[]).unwrap();
         let ps = generate_ntt_primes(41, n, k, &qs).unwrap();
-        let to_mod = |v: &[u64]| v.iter().map(|&q| Modulus::new(q).unwrap()).collect::<Vec<_>>();
+        let to_mod = |v: &[u64]| {
+            v.iter()
+                .map(|&q| Modulus::new(q).unwrap())
+                .collect::<Vec<_>>()
+        };
         (
             Arc::new(RnsBasis::new(n, to_mod(&qs)).unwrap()),
             Arc::new(RnsBasis::new(n, to_mod(&ps)).unwrap()),
@@ -309,9 +319,8 @@ mod tests {
                 let residues: Vec<u64> = (0..ell).map(|i| towers[i][c]).collect();
                 let exact = exact_crt_residue(&residues, source.moduli(), pj);
                 // fast = exact + e*Q (mod p_j) with 0 <= e < ell
-                let found = (0..ell as u64).any(|e| {
-                    pj.add(exact, pj.mul(pj.reduce(e), q_mod_p)) == fast[j][c]
-                });
+                let found = (0..ell as u64)
+                    .any(|e| pj.add(exact, pj.mul(pj.reduce(e), q_mod_p)) == fast[j][c]);
                 assert!(found, "coefficient {c}, target {j}: overshoot out of range");
             }
         }
@@ -355,7 +364,10 @@ mod tests {
     #[test]
     fn modmul_count_formula() {
         // N * ell + N * ell * k
-        assert_eq!(BasisConverter::modmul_count(1024, 11, 22), 1024 * 11 + 1024 * 11 * 22);
+        assert_eq!(
+            BasisConverter::modmul_count(1024, 11, 22),
+            1024 * 11 + 1024 * 11 * 22
+        );
     }
 
     #[test]
@@ -363,7 +375,11 @@ mod tests {
     fn overlapping_bases_rejected() {
         let n = 16;
         let qs = generate_ntt_primes(40, n, 2, &[]).unwrap();
-        let to_mod = |v: &[u64]| v.iter().map(|&q| Modulus::new(q).unwrap()).collect::<Vec<_>>();
+        let to_mod = |v: &[u64]| {
+            v.iter()
+                .map(|&q| Modulus::new(q).unwrap())
+                .collect::<Vec<_>>()
+        };
         let a = Arc::new(RnsBasis::new(n, to_mod(&qs)).unwrap());
         let b = Arc::new(RnsBasis::new(n, to_mod(&qs)).unwrap());
         let _ = BasisConverter::new(a, b);

@@ -39,7 +39,9 @@ impl UBig {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut out = Self { limbs: vec![lo, hi] };
+        let mut out = Self {
+            limbs: vec![lo, hi],
+        };
         out.normalize();
         out
     }
@@ -243,9 +245,7 @@ impl UBig {
 
     /// Product of a slice of `u64` factors.
     pub fn product(factors: &[u64]) -> UBig {
-        factors
-            .iter()
-            .fold(UBig::one(), |acc, &f| acc.mul_u64(f))
+        factors.iter().fold(UBig::one(), |acc, &f| acc.mul_u64(f))
     }
 }
 

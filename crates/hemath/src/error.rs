@@ -1,0 +1,96 @@
+//! The crate-wide error type.
+//!
+//! Each module keeps its precise error enum ([`ModulusError`](crate::modulus::ModulusError),
+//! [`NttError`](crate::ntt::NttError), [`PrimeError`](crate::primes::PrimeError),
+//! [`RnsError`](crate::poly::RnsError)); [`HemathError`] unifies them so
+//! callers that mix modules — and downstream crates like `ckks` and `ciflow`
+//! — can propagate any hemath failure with a single `?`.
+
+use crate::modulus::ModulusError;
+use crate::ntt::NttError;
+use crate::poly::RnsError;
+use crate::primes::PrimeError;
+
+/// Any error raised by this crate's public API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HemathError {
+    /// A modulus was rejected.
+    Modulus(ModulusError),
+    /// An NTT table could not be built.
+    Ntt(NttError),
+    /// Prime generation failed.
+    Prime(PrimeError),
+    /// An RNS basis or polynomial operation failed.
+    Rns(RnsError),
+}
+
+impl std::fmt::Display for HemathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HemathError::Modulus(e) => write!(f, "modulus error: {e}"),
+            HemathError::Ntt(e) => write!(f, "ntt error: {e}"),
+            HemathError::Prime(e) => write!(f, "prime generation error: {e}"),
+            HemathError::Rns(e) => write!(f, "rns error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HemathError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HemathError::Modulus(e) => Some(e),
+            HemathError::Ntt(e) => Some(e),
+            HemathError::Prime(e) => Some(e),
+            HemathError::Rns(e) => Some(e),
+        }
+    }
+}
+
+impl From<ModulusError> for HemathError {
+    fn from(e: ModulusError) -> Self {
+        HemathError::Modulus(e)
+    }
+}
+
+impl From<NttError> for HemathError {
+    fn from(e: NttError) -> Self {
+        HemathError::Ntt(e)
+    }
+}
+
+impl From<PrimeError> for HemathError {
+    fn from(e: PrimeError) -> Self {
+        HemathError::Prime(e)
+    }
+}
+
+impl From<RnsError> for HemathError {
+    fn from(e: RnsError) -> Self {
+        HemathError::Rns(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display_cover_every_module() {
+        let errors: Vec<HemathError> = vec![
+            ModulusError::TooSmall.into(),
+            NttError::DegreeNotPowerOfTwo(3).into(),
+            PrimeError::UnsupportedBits(7).into(),
+            RnsError::BasisMismatch.into(),
+        ];
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(e).is_some());
+        }
+        // A `?` chain through the unified type compiles and preserves the
+        // variant.
+        fn build() -> Result<crate::modulus::Modulus, HemathError> {
+            Ok(crate::modulus::Modulus::new(65537)?)
+        }
+        assert!(build().is_ok());
+    }
+}

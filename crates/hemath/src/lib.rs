@@ -35,6 +35,7 @@
 
 pub mod basis;
 pub mod bigint;
+pub mod error;
 pub mod modulus;
 pub mod ntt;
 pub mod poly;
@@ -43,6 +44,7 @@ pub mod sampler;
 
 pub use basis::BasisConverter;
 pub use bigint::UBig;
+pub use error::HemathError;
 pub use modulus::Modulus;
 pub use ntt::NttTable;
 pub use poly::{Representation, RnsBasis, RnsPolynomial};

@@ -129,10 +129,8 @@ impl Modulus {
         let lo_hi = a_lo as u128 * self.barrett_hi as u128;
         let hi_lo = a_hi as u128 * self.barrett_lo as u128;
         let mid = lo_lo + (lo_hi & 0xFFFF_FFFF_FFFF_FFFF) + (hi_lo & 0xFFFF_FFFF_FFFF_FFFF);
-        let quot = (a_hi as u128 * self.barrett_hi as u128)
-            + (lo_hi >> 64)
-            + (hi_lo >> 64)
-            + (mid >> 64);
+        let quot =
+            (a_hi as u128 * self.barrett_hi as u128) + (lo_hi >> 64) + (hi_lo >> 64) + (mid >> 64);
         let mut r = (a - quot * self.value as u128) as u64;
         while r >= self.value {
             r -= self.value;
@@ -209,7 +207,11 @@ impl Modulus {
     /// Panics if `a` is zero. The result is only a true inverse when the
     /// modulus is prime and `a` is not a multiple of it.
     pub fn inv(&self, a: u64) -> u64 {
-        assert!(a % self.value != 0, "cannot invert zero modulo {}", self.value);
+        assert!(
+            !a.is_multiple_of(self.value),
+            "cannot invert zero modulo {}",
+            self.value
+        );
         self.pow(a, self.value - 2)
     }
 
@@ -271,7 +273,10 @@ mod tests {
             let a = p / 3;
             let b = p - 1;
             assert_eq!(m.add(a, b), ((a as u128 + b as u128) % p as u128) as u64);
-            assert_eq!(m.sub(a, b), ((a as i128 - b as i128).rem_euclid(p as i128)) as u64);
+            assert_eq!(
+                m.sub(a, b),
+                ((a as i128 - b as i128).rem_euclid(p as i128)) as u64
+            );
             assert_eq!(m.add(m.sub(a, b), b), a);
             assert_eq!(m.add(a, m.neg(a)), 0);
         }

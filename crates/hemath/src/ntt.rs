@@ -94,7 +94,7 @@ impl NttTable {
         if degree < 2 || !degree.is_power_of_two() {
             return Err(NttError::DegreeNotPowerOfTwo(degree));
         }
-        if (modulus.value() - 1) % (2 * degree as u64) != 0 {
+        if !(modulus.value() - 1).is_multiple_of(2 * degree as u64) {
             return Err(NttError::IncompatibleModulus {
                 modulus: modulus.value(),
                 degree,
@@ -243,9 +243,9 @@ pub fn negacyclic_multiply_schoolbook(modulus: &Modulus, a: &[u64], b: &[u64]) -
     let n = a.len();
     assert_eq!(n, b.len());
     let mut out = vec![0u64; n];
-    for i in 0..n {
-        for j in 0..n {
-            let prod = modulus.mul(a[i], b[j]);
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let prod = modulus.mul(ai, bj);
             let idx = i + j;
             if idx < n {
                 out[idx] = modulus.add(out[idx], prod);
@@ -364,7 +364,10 @@ mod tests {
     #[test]
     fn modmul_count_formula() {
         assert_eq!(NttTable::modmul_count(8), 4 * 3 + 8);
-        assert_eq!(NttTable::modmul_count(1 << 16), (1u64 << 15) * 16 + (1 << 16));
+        assert_eq!(
+            NttTable::modmul_count(1 << 16),
+            (1u64 << 15) * 16 + (1 << 16)
+        );
     }
 
     #[test]

@@ -134,7 +134,10 @@ impl RnsBasis {
     /// Panics if any index is out of range.
     pub fn subset(&self, indices: &[usize]) -> Self {
         let moduli = indices.iter().map(|&i| self.moduli[i]).collect();
-        let ntt_tables = indices.iter().map(|&i| self.ntt_tables[i].clone()).collect();
+        let ntt_tables = indices
+            .iter()
+            .map(|&i| self.ntt_tables[i].clone())
+            .collect();
         Self {
             degree: self.degree,
             moduli,
@@ -148,7 +151,10 @@ impl RnsBasis {
     ///
     /// Panics if the degrees differ.
     pub fn concat(&self, other: &RnsBasis) -> Self {
-        assert_eq!(self.degree, other.degree, "cannot concat bases of different degree");
+        assert_eq!(
+            self.degree, other.degree,
+            "cannot concat bases of different degree"
+        );
         let mut moduli = self.moduli.clone();
         moduli.extend_from_slice(&other.moduli);
         let mut ntt_tables = self.ntt_tables.clone();
@@ -508,7 +514,10 @@ mod tests {
 
     fn basis(n: usize, towers: usize) -> Arc<RnsBasis> {
         let primes = generate_ntt_primes(40, n, towers, &[]).unwrap();
-        let moduli = primes.into_iter().map(|q| Modulus::new(q).unwrap()).collect();
+        let moduli = primes
+            .into_iter()
+            .map(|q| Modulus::new(q).unwrap())
+            .collect();
         Arc::new(RnsBasis::new(n, moduli).unwrap())
     }
 
@@ -517,7 +526,11 @@ mod tests {
         let towers = basis
             .moduli()
             .iter()
-            .map(|m| (0..basis.degree()).map(|_| rng.gen_range(0..m.value())).collect())
+            .map(|m| {
+                (0..basis.degree())
+                    .map(|_| rng.gen_range(0..m.value()))
+                    .collect()
+            })
             .collect();
         RnsPolynomial::from_towers(basis.clone(), towers, Representation::Coefficient)
     }
@@ -545,7 +558,9 @@ mod tests {
     #[test]
     fn signed_lift_round_trips_small_values() {
         let b = basis(32, 2);
-        let coeffs: Vec<i64> = (0..32).map(|i| if i % 3 == 0 { -(i as i64) } else { i as i64 }).collect();
+        let coeffs: Vec<i64> = (0..32)
+            .map(|i| if i % 3 == 0 { -(i as i64) } else { i as i64 })
+            .collect();
         let p = RnsPolynomial::from_signed_coefficients(b.clone(), &coeffs);
         for (m, tower) in p.iter() {
             for (j, &c) in coeffs.iter().enumerate() {
@@ -598,11 +613,8 @@ mod tests {
         let mut prod = ae.mul(&ce).unwrap();
         prod.to_coefficient();
         for i in 0..b.tower_count() {
-            let expected = crate::ntt::negacyclic_multiply_schoolbook(
-                &b.moduli()[i],
-                a.tower(i),
-                c.tower(i),
-            );
+            let expected =
+                crate::ntt::negacyclic_multiply_schoolbook(&b.moduli()[i], a.tower(i), c.tower(i));
             assert_eq!(prod.tower(i), &expected[..]);
         }
     }
@@ -658,10 +670,10 @@ mod tests {
         let original = p.clone();
         let scalars = vec![3u64, 5u64];
         p.scale_per_tower(&scalars);
-        for i in 0..2 {
+        for (i, &scalar) in scalars.iter().enumerate() {
             let m = &b.moduli()[i];
             for j in 0..32 {
-                assert_eq!(p.tower(i)[j], m.mul(original.tower(i)[j], scalars[i]));
+                assert_eq!(p.tower(i)[j], m.mul(original.tower(i)[j], scalar));
             }
         }
     }

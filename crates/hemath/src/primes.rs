@@ -27,14 +27,14 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     // Write n-1 = d * 2^s with d odd.
     let mut d = n - 1;
     let mut s = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }
@@ -160,7 +160,7 @@ pub fn generate_ntt_primes(
 pub fn primitive_root_of_unity(modulus: &Modulus, order: u64) -> u64 {
     let q = modulus.value();
     assert!(
-        (q - 1) % order == 0,
+        (q - 1).is_multiple_of(order),
         "order {order} does not divide q-1 for q={q}"
     );
     let cofactor = (q - 1) / order;
@@ -192,9 +192,9 @@ pub fn primitive_root_of_unity(modulus: &Modulus, order: u64) -> u64 {
 fn factorize(mut n: u64) -> Vec<u64> {
     let mut factors = Vec::new();
     for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47] {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             factors.push(p);
-            while n % p == 0 {
+            while n.is_multiple_of(p) {
                 n /= p;
             }
         }
@@ -219,7 +219,7 @@ fn factorize(mut n: u64) -> Vec<u64> {
 
 /// Pollard's rho with Brent's cycle detection; expects a composite input.
 fn pollard_rho(n: u64) -> u64 {
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return 2;
     }
     let mulmod = |a: u64, b: u64| ((a as u128 * b as u128) % n as u128) as u64;
@@ -273,7 +273,7 @@ mod tests {
         assert!(is_prime(1152921504598720513));
         // Carmichael-like / strong pseudoprime stressors
         assert!(!is_prime(3215031751));
-        assert!(!is_prime(3825123056546413051 % (1 << 62)));
+        assert!(!is_prime(3825123056546413051));
     }
 
     #[test]

@@ -63,11 +63,7 @@ pub fn sample_ternary<R: Rng + ?Sized>(
 /// Samples an error polynomial from a centred binomial distribution with the
 /// given `eta` (sum of `eta` coin differences), a standard discrete-Gaussian
 /// surrogate with standard deviation `sqrt(eta/2)`.
-pub fn sample_error<R: Rng + ?Sized>(
-    rng: &mut R,
-    basis: Arc<RnsBasis>,
-    eta: u32,
-) -> RnsPolynomial {
+pub fn sample_error<R: Rng + ?Sized>(rng: &mut R, basis: Arc<RnsBasis>, eta: u32) -> RnsPolynomial {
     let n = basis.degree();
     let coeffs: Vec<i64> = (0..n)
         .map(|_| {
@@ -90,7 +86,10 @@ mod tests {
 
     fn basis(n: usize, towers: usize) -> Arc<RnsBasis> {
         let primes = generate_ntt_primes(40, n, towers, &[]).unwrap();
-        let moduli = primes.into_iter().map(|q| Modulus::new(q).unwrap()).collect();
+        let moduli = primes
+            .into_iter()
+            .map(|q| Modulus::new(q).unwrap())
+            .collect();
         Arc::new(RnsBasis::new(n, moduli).unwrap())
     }
 
@@ -102,7 +101,10 @@ mod tests {
         for (m, tower) in p.iter() {
             assert!(tower.iter().all(|&x| x < m.value()));
             let first = tower[0];
-            assert!(tower.iter().any(|&x| x != first), "uniform sample looks constant");
+            assert!(
+                tower.iter().any(|&x| x != first),
+                "uniform sample looks constant"
+            );
         }
     }
 
@@ -137,13 +139,23 @@ mod tests {
         let q = b.moduli()[0].value();
         let mut sum = 0i64;
         for &x in p.tower(0) {
-            let signed = if x > q / 2 { x as i64 - q as i64 } else { x as i64 };
-            assert!(signed.unsigned_abs() <= eta as u64, "error coefficient too large");
+            let signed = if x > q / 2 {
+                x as i64 - q as i64
+            } else {
+                x as i64
+            };
+            assert!(
+                signed.unsigned_abs() <= eta as u64,
+                "error coefficient too large"
+            );
             sum += signed;
         }
         // Mean should be close to zero: |mean| well below one sigma.
         let mean = sum as f64 / 1024.0;
-        assert!(mean.abs() < 0.5, "error distribution looks biased: mean={mean}");
+        assert!(
+            mean.abs() < 0.5,
+            "error distribution looks biased: mean={mean}"
+        );
     }
 
     #[test]

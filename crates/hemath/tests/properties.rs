@@ -90,7 +90,10 @@ proptest! {
 fn ring_setup(towers: usize) -> (Arc<RnsBasis>, usize) {
     let n = 64usize;
     let primes = generate_ntt_primes(40, n, towers, &[]).unwrap();
-    let moduli = primes.into_iter().map(|q| Modulus::new(q).unwrap()).collect();
+    let moduli = primes
+        .into_iter()
+        .map(|q| Modulus::new(q).unwrap())
+        .collect();
     (Arc::new(RnsBasis::new(n, moduli).unwrap()), n)
 }
 

@@ -94,6 +94,16 @@ impl RpuConfig {
         }
     }
 
+    /// The CiFlow evaluation configuration for a given evk placement:
+    /// [`RpuConfig::ciflow_baseline`] for [`EvkPolicy::OnChip`],
+    /// [`RpuConfig::ciflow_streaming`] for [`EvkPolicy::Streamed`].
+    pub fn ciflow_with_policy(evk_policy: EvkPolicy) -> Self {
+        match evk_policy {
+            EvkPolicy::OnChip => Self::ciflow_baseline(),
+            EvkPolicy::Streamed => Self::ciflow_streaming(),
+        }
+    }
+
     /// Returns a copy with a different off-chip bandwidth.
     pub fn with_bandwidth(mut self, gbps: f64) -> Self {
         self.dram_bandwidth_gbps = gbps;

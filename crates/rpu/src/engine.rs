@@ -88,8 +88,16 @@ impl RpuEngine {
     /// other, which indicates an invalid schedule.
     pub fn execute(&self, graph: &TaskGraph) -> Result<RunResult, EngineError> {
         let tasks = graph.tasks();
-        let compute_queue: Vec<TaskId> = tasks.iter().filter(|t| t.is_compute()).map(|t| t.id).collect();
-        let memory_queue: Vec<TaskId> = tasks.iter().filter(|t| t.is_memory()).map(|t| t.id).collect();
+        let compute_queue: Vec<TaskId> = tasks
+            .iter()
+            .filter(|t| t.is_compute())
+            .map(|t| t.id)
+            .collect();
+        let memory_queue: Vec<TaskId> = tasks
+            .iter()
+            .filter(|t| t.is_memory())
+            .map(|t| t.id)
+            .collect();
 
         let mut finish = vec![f64::NAN; tasks.len()];
         let mut trace = ExecutionTrace::new();
@@ -237,7 +245,13 @@ mod tests {
         // first is needed by the compute task.
         let mut g = TaskGraph::new();
         let load1 = g.push_memory(MemoryDirection::Load, 1_000_000_000, vec![], "load1", "P1");
-        g.push_memory(MemoryDirection::Store, 1_000_000_000, vec![], "store2", "P1");
+        g.push_memory(
+            MemoryDirection::Store,
+            1_000_000_000,
+            vec![],
+            "store2",
+            "P1",
+        );
         g.push_compute(ComputeKind::Ntt, 500_000_000, vec![load1], "ntt", "P1");
         let result = RpuEngine::new(unit_config()).execute(&g).unwrap();
         // Memory channel: 0-1 load, 1-2 store. Compute: 1-1.5.
@@ -250,7 +264,9 @@ mod tests {
         let load = g.push_memory(MemoryDirection::Load, 2_000_000_000, vec![], "load", "P1");
         g.push_compute(ComputeKind::Ntt, 100_000_000, vec![load], "ntt", "P1");
         let slow = RpuEngine::new(unit_config()).execute(&g).unwrap();
-        let fast = RpuEngine::new(unit_config().with_bandwidth(2.0)).execute(&g).unwrap();
+        let fast = RpuEngine::new(unit_config().with_bandwidth(2.0))
+            .execute(&g)
+            .unwrap();
         assert!(slow.stats.runtime_seconds > 1.9);
         assert!(fast.stats.runtime_seconds < 1.2);
     }
@@ -260,7 +276,9 @@ mod tests {
         let mut g = TaskGraph::new();
         g.push_compute(ComputeKind::Ntt, 2_000_000_000, vec![], "ntt", "P1");
         let slow = RpuEngine::new(unit_config()).execute(&g).unwrap();
-        let fast = RpuEngine::new(unit_config().with_modops(2.0)).execute(&g).unwrap();
+        let fast = RpuEngine::new(unit_config().with_modops(2.0))
+            .execute(&g)
+            .unwrap();
         assert!((slow.stats.runtime_seconds - 2.0).abs() < 1e-9);
         assert!((fast.stats.runtime_seconds - 1.0).abs() < 1e-9);
     }

@@ -69,11 +69,34 @@ impl B1kInstruction {
     pub fn all() -> [B1kInstruction; 28] {
         use B1kInstruction::*;
         [
-            VAddMod, VSubMod, VMulMod, VMacMod, VNegMod, VScalarMulMod, VScalarAddMod,
-            VMulConstShoup, VButterflyCt, VButterflyGs, VTwiddleMul, VBitRevShuffle,
-            VStrideShuffle, VSliceRotate, VPackLo, VPackHi, VAccumulate, VDotScalar,
-            VReduceBarrett, VCenterLift, VLoad, VStore, VLoadKey, VPrefetch, SLoadImm, SAddrGen,
-            SModSwap, SBranch,
+            VAddMod,
+            VSubMod,
+            VMulMod,
+            VMacMod,
+            VNegMod,
+            VScalarMulMod,
+            VScalarAddMod,
+            VMulConstShoup,
+            VButterflyCt,
+            VButterflyGs,
+            VTwiddleMul,
+            VBitRevShuffle,
+            VStrideShuffle,
+            VSliceRotate,
+            VPackLo,
+            VPackHi,
+            VAccumulate,
+            VDotScalar,
+            VReduceBarrett,
+            VCenterLift,
+            VLoad,
+            VStore,
+            VLoadKey,
+            VPrefetch,
+            SLoadImm,
+            SAddrGen,
+            SModSwap,
+            SBranch,
         ]
     }
 

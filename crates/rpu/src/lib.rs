@@ -73,7 +73,13 @@ mod integration {
                 format!("load {i}"),
                 "P1",
             );
-            let c = g.push_compute(ComputeKind::Ntt, 500_000_000, vec![load], format!("ntt {i}"), "P1");
+            let c = g.push_compute(
+                ComputeKind::Ntt,
+                500_000_000,
+                vec![load],
+                format!("ntt {i}"),
+                "P1",
+            );
             prev = Some(c);
         }
         let mut last = f64::INFINITY;
@@ -86,7 +92,8 @@ mod integration {
             runtimes.push(r.stats.runtime_seconds);
         }
         // Compute bound: total ops / modops rate.
-        let compute_floor = (8.0 * 500_000_000.0) / RpuConfig::ciflow_baseline().modops_per_second();
+        let compute_floor =
+            (8.0 * 500_000_000.0) / RpuConfig::ciflow_baseline().modops_per_second();
         assert!(runtimes.last().unwrap() >= &compute_floor);
         assert!(runtimes.last().unwrap() < &(compute_floor * 1.2));
     }

@@ -292,8 +292,20 @@ mod tests {
         let mut g = TaskGraph::new();
         let load = g.push_memory(MemoryDirection::Load, 1024, vec![], "load x", "ModUp-P1");
         let intt = g.push_compute(ComputeKind::Intt, 5120, vec![load], "intt x", "ModUp-P1");
-        let store = g.push_memory(MemoryDirection::Store, 1024, vec![intt], "store x", "ModUp-P1");
-        let _ = g.push_compute(ComputeKind::PointwiseAdd, 100, vec![intt, store], "acc", "ModUp-P5");
+        let store = g.push_memory(
+            MemoryDirection::Store,
+            1024,
+            vec![intt],
+            "store x",
+            "ModUp-P1",
+        );
+        let _ = g.push_compute(
+            ComputeKind::PointwiseAdd,
+            100,
+            vec![intt, store],
+            "acc",
+            "ModUp-P5",
+        );
         g
     }
 

@@ -1,18 +1,21 @@
 //! Dataflow explorer: sweep off-chip bandwidth for a chosen benchmark and
-//! compare the three dataflows, reproducing one panel of the paper's
-//! Figure 4 from the command line.
+//! compare every *registered* scheduling strategy, reproducing one panel of
+//! the paper's Figure 4 from the command line. Strategies are resolved
+//! through the session's [`StrategyRegistry`](ciflow::api::StrategyRegistry)
+//! via [`try_bandwidth_sweep_in`], so a custom strategy registered on the
+//! session below shows up in the output automatically.
 //!
 //! Run with, e.g.:
 //! `cargo run -p ciflow --release --example dataflow_explorer -- ARK`
 //! `cargo run -p ciflow --release --example dataflow_explorer -- BTS3 streamed`
 
+use ciflow::api::Session;
 use ciflow::benchmark::HksBenchmark;
-use ciflow::dataflow::Dataflow;
 use ciflow::report::{render_sweep_ascii, render_sweep_csv};
-use ciflow::sweep::{bandwidth_sweep, baseline_runtime_ms};
+use ciflow::sweep::{baseline_runtime_ms, try_bandwidth_sweep_in};
 use rpu::EvkPolicy;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let benchmark = args
         .get(1)
@@ -23,14 +26,21 @@ fn main() {
     } else {
         EvkPolicy::OnChip
     };
-    let bandwidths = [8.0, 12.8, 16.0, 25.6, 32.0, 48.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
+    let bandwidths = [
+        8.0, 12.8, 16.0, 25.6, 32.0, 48.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+    ];
 
     println!("benchmark: {benchmark}");
     println!("evk policy: {evk_policy}\n");
-    let series: Vec<_> = Dataflow::all()
+    // Register additional strategies here (`.register(Arc::new(...))?`) and
+    // they join the comparison with no further changes.
+    let session = Session::new();
+    let series = session
+        .registry()
+        .short_names()
         .into_iter()
-        .map(|d| bandwidth_sweep(benchmark, d, &bandwidths, evk_policy, 1.0))
-        .collect();
+        .map(|name| try_bandwidth_sweep_in(&session, benchmark, name, &bandwidths, evk_policy, 1.0))
+        .collect::<Result<Vec<_>, _>>()?;
     print!("{}", render_sweep_csv(&series));
     println!();
     print!("{}", render_sweep_ascii(&series, 66, 14));
@@ -38,4 +48,5 @@ fn main() {
         "\nbaseline (MP @ 64 GB/s, evks on-chip): {:.2} ms",
         baseline_runtime_ms(benchmark)
     );
+    Ok(())
 }

@@ -1,13 +1,15 @@
 //! Evaluation-key placement study: compare preloading the evks into a large
 //! on-chip key memory (the 392 MB configuration) against streaming them from
 //! DRAM with only 32 MB of on-chip SRAM, for every benchmark under the
-//! Output-Centric dataflow — the paper's §VI-B experiment.
+//! Output-Centric dataflow — the paper's §VI-B experiment. The ten
+//! (benchmark, placement) runs execute as one parallel
+//! [`Session`](ciflow::api::Session) batch.
 //!
 //! Run with: `cargo run -p ciflow --release --example evk_streaming`
 
+use ciflow::api::{Job, Session};
 use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
-use ciflow::runner::HksRun;
 use ciflow::sweep::streaming_equivalence_row;
 use rpu::RpuConfig;
 
@@ -28,19 +30,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("OC runtime at 64 GB/s, evks on-chip vs streamed:");
-    for benchmark in HksBenchmark::all() {
-        let with_keys = HksRun::new(benchmark, Dataflow::OutputCentric)
-            .with_rpu(on_chip.clone().with_bandwidth(64.0))
-            .execute()?;
-        let streamed = HksRun::new(benchmark, Dataflow::OutputCentric)
-            .with_rpu(streaming.clone().with_bandwidth(64.0))
-            .execute()?;
+    let session = Session::new().jobs(HksBenchmark::all().into_iter().flat_map(|benchmark| {
+        [on_chip.clone(), streaming.clone()]
+            .into_iter()
+            .map(move |rpu| {
+                Job::new(benchmark, Dataflow::OutputCentric).with_rpu(rpu.with_bandwidth(64.0))
+            })
+    }));
+    let outputs = session.run().into_outputs()?;
+    for (benchmark, pair) in HksBenchmark::all().iter().zip(outputs.chunks(2)) {
+        let (with_keys, streamed) = (&pair[0], &pair[1]);
         println!(
             "  {:7}: {:6.2} ms -> {:6.2} ms ({:.2}x slowdown)",
             benchmark.name,
-            with_keys.stats.runtime_ms(),
-            streamed.stats.runtime_ms(),
-            streamed.stats.runtime_ms() / with_keys.stats.runtime_ms()
+            with_keys.runtime_ms(),
+            streamed.runtime_ms(),
+            streamed.runtime_ms() / with_keys.runtime_ms()
         );
     }
 

@@ -2,13 +2,15 @@
 //! observation that a single HE ResNet-20 inference issues 3,306 rotations
 //! and that key switching is ~70% of the end-to-end time. This example
 //! models that rotation stream at the DPRIVE parameter point and reports the
-//! total key-switching time under each dataflow and several memory systems.
+//! total key-switching time under each dataflow and several memory systems —
+//! all nine (memory system, dataflow) combinations submitted as one parallel
+//! [`Session`](ciflow::api::Session) batch.
 //!
 //! Run with: `cargo run -p ciflow --release --example private_inference`
 
+use ciflow::api::{Job, Session};
 use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
-use ciflow::runner::HksRun;
 use rpu::RpuConfig;
 
 /// Rotations in one HE ResNet-20 inference (Lee et al., ICML'22, as cited by
@@ -20,20 +22,35 @@ const KEY_SWITCH_FRACTION: f64 = 0.70;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = HksBenchmark::DPRIVE;
-    println!("workload: HE ResNet-20 ({RESNET20_ROTATIONS} rotations), parameter point {benchmark}");
+    let memory_systems = [("DDR4", 12.8), ("DDR5", 64.0), ("HBM2", 256.0)];
+    println!(
+        "workload: HE ResNet-20 ({RESNET20_ROTATIONS} rotations), parameter point {benchmark}"
+    );
     println!("memory systems: DDR4 (12.8 GB/s), DDR5 (64 GB/s), HBM2 (256 GB/s)\n");
 
-    for (label, bandwidth) in [("DDR4", 12.8), ("DDR5", 64.0), ("HBM2", 256.0)] {
-        println!("--- {label}: {bandwidth} GB/s, evks on-chip ---");
-        for dataflow in Dataflow::all() {
-            let result = HksRun::new(benchmark, dataflow)
+    // One batch: every (memory system, dataflow) pair, fanned out across
+    // cores with a per-job Result.
+    let session = Session::new().jobs(memory_systems.iter().flat_map(|&(label, bandwidth)| {
+        Dataflow::all().into_iter().map(move |dataflow| {
+            Job::new(benchmark, dataflow)
                 .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(bandwidth))
-                .execute()?;
-            let per_ks_ms = result.stats.runtime_ms();
+                .with_label(format!("{label}/{dataflow}"))
+        })
+    }));
+    let outcome = session.run();
+
+    let mut results = outcome.results.iter();
+    for (label, bandwidth) in memory_systems {
+        println!("--- {label}: {bandwidth} GB/s, evks on-chip ---");
+        for _ in Dataflow::all() {
+            let result = results.next().expect("batch covers every pair");
+            let output = result.outcome.as_ref().map_err(|e| e.clone())?;
+            let per_ks_ms = output.runtime_ms();
             let key_switch_total_s = per_ks_ms * RESNET20_ROTATIONS as f64 / 1e3;
             let end_to_end_estimate_s = key_switch_total_s / KEY_SWITCH_FRACTION;
             println!(
-                "  {dataflow}: {per_ks_ms:6.2} ms per key switch -> {key_switch_total_s:7.1} s of key switching, ~{end_to_end_estimate_s:7.1} s end-to-end",
+                "  {}: {per_ks_ms:6.2} ms per key switch -> {key_switch_total_s:7.1} s of key switching, ~{end_to_end_estimate_s:7.1} s end-to-end",
+                output.strategy,
             );
         }
         println!();

@@ -1,12 +1,12 @@
 //! Quickstart: encrypt data with CKKS, perform a rotation (which triggers a
 //! hybrid key switch), and then ask CiFlow how that key switch would perform
-//! on the RPU under each of the three dataflows.
+//! on the RPU under each registered scheduling strategy — submitted as one
+//! parallel [`Session`](ciflow::api::Session) batch.
 //!
 //! Run with: `cargo run -p ciflow --release --example quickstart`
 
+use ciflow::api::Session;
 use ciflow::benchmark::HksBenchmark;
-use ciflow::dataflow::Dataflow;
-use ciflow::runner::HksRun;
 use ckks::context::CkksContext;
 use ckks::encoding::CkksEncoder;
 use ckks::encrypt::{decrypt, encrypt};
@@ -49,18 +49,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---------------------------------------------------------------
     // Part 2: how would that key switch behave at accelerator scale?
     // The rotation above ran one hybrid key switch; CiFlow models the same
-    // kernel at the DPRIVE parameter point on the RPU.
+    // kernel at the DPRIVE parameter point on the RPU. One `Session` batch
+    // runs every registered strategy in parallel; new strategies registered
+    // through `Session::register` would appear here with no other changes.
     // ---------------------------------------------------------------
     println!("\nDPRIVE hybrid key switch on the RPU at 12.8 GB/s (evks on-chip):");
-    for dataflow in Dataflow::all() {
-        let result = HksRun::new(HksBenchmark::DPRIVE, dataflow)
-            .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(12.8))
-            .execute()?;
+    let mut session = Session::new().with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(12.8));
+    for name in session.registry().short_names() {
+        session = session.job(HksBenchmark::DPRIVE, name);
+    }
+    let outputs = session.run().into_outputs()?;
+    for output in outputs {
         println!(
-            "  {dataflow}: {:6.2} ms, compute idle {:4.1}%, DRAM traffic {:6.1} MiB",
-            result.stats.runtime_ms(),
-            100.0 * result.stats.compute_idle_fraction(),
-            result.stats.total_bytes() as f64 / rpu::MIB as f64
+            "  {}: {:6.2} ms, compute idle {:4.1}%, DRAM traffic {:6.1} MiB",
+            output.strategy,
+            output.runtime_ms(),
+            100.0 * output.stats.compute_idle_fraction(),
+            output.dram_mib()
         );
     }
     Ok(())

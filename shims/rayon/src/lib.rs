@@ -1,0 +1,195 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the small parallel-iterator surface the workspace uses
+//! (`par_iter` / `into_par_iter` → `map` → `collect`, plus `for_each`) on top
+//! of `std::thread::scope` with a shared work queue, so batch execution
+//! genuinely uses all cores. The build environment cannot reach crates.io;
+//! swapping the real rayon back in only requires editing
+//! `[workspace.dependencies]` in the root manifest.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-importable parallel-iterator traits, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Maps `f` over `items` on all available cores, preserving order.
+///
+/// Work is distributed through a shared queue so uneven job costs (e.g. BTS3
+/// schedules next to ARK schedules) still load-balance. Panics raised by `f`
+/// propagate to the caller, exactly like rayon.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut queue: Vec<Option<(usize, T)>> = items.into_iter().enumerate().map(Some).collect();
+    queue.reverse(); // pop() hands out jobs in submission order
+    let queue = Mutex::new(queue);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("rayon shim: queue poisoned").pop();
+                match job {
+                    Some(Some((index, item))) => {
+                        let result = f(item);
+                        *slots[index].lock().expect("rayon shim: slot poisoned") = Some(result);
+                    }
+                    _ => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("rayon shim: slot poisoned")
+                .expect("rayon shim: every job must produce a result")
+        })
+        .collect()
+}
+
+/// An eager parallel iterator: combinators run immediately on all cores.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, preserving order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: par_map(self.items, f),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map(self.items, f);
+    }
+
+    /// Collects the (already computed) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+/// Borrowing counterpart of [`IntoParallelIterator`] (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send;
+    /// Returns a parallel iterator over borrowed elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.into_par_iter()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let squares: Vec<u64> = (0u64..1000)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * x)
+            .collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let words = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = words.par_iter().map(|w| w.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+        assert_eq!(words.len(), 3); // still usable
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return; // nothing to check on a single-core machine
+        }
+        let ids: std::collections::HashSet<std::thread::ThreadId> = (0..64)
+            .map(|_| ())
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|()| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                std::thread::current().id()
+            })
+            .collect();
+        assert!(ids.len() > 1, "expected work on more than one thread");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

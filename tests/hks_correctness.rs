@@ -59,7 +59,8 @@ fn dot_product_via_rotations_and_multiplications() {
     let r1 = ops::rotate(&ctx, &ct, 1, &rot_keys[&1]).unwrap();
     let r2 = ops::rotate(&ctx, &ct, 2, &rot_keys[&2]).unwrap();
     let window = ops::add(&ops::add(&ct, &r1).unwrap(), &r2).unwrap();
-    let squared = ops::rescale(&ctx, &ops::multiply(&ctx, &window, &window, &rlk).unwrap()).unwrap();
+    let squared =
+        ops::rescale(&ctx, &ops::multiply(&ctx, &window, &window, &rlk).unwrap()).unwrap();
 
     let decoded = encoder.decode(&decrypt(&ctx, &sk, &squared));
     let expected: Vec<Complex> = (0..slots)
@@ -92,7 +93,9 @@ fn repeated_rotations_accumulate_correctly() {
         ct = ops::rotate(&ctx, &ct, 1, &key1).unwrap();
     }
     let decoded = encoder.decode(&decrypt(&ctx, &sk, &ct));
-    let expected: Vec<Complex> = (0..slots).map(|i| Complex::new(x[(i + 4) % slots], 0.0)).collect();
+    let expected: Vec<Complex> = (0..slots)
+        .map(|i| Complex::new(x[(i + 4) % slots], 0.0))
+        .collect();
     let err = max_error(&expected, &decoded);
     assert!(err < 1e-2, "chained rotation error too large: {err}");
 }
@@ -121,7 +124,11 @@ fn output_centric_key_switch_is_bit_identical_to_reference() {
             EvaluationKeyKind::Relinearization,
         );
         let level = ctx.params().max_level();
-        let d = sample_uniform(&mut rng, ctx.basis_q_at_level(level), Representation::Evaluation);
+        let d = sample_uniform(
+            &mut rng,
+            ctx.basis_q_at_level(level),
+            Representation::Evaluation,
+        );
         let reference = ckks::keyswitch::hybrid_key_switch(&ctx, &d, level, &ksk);
         let oc = output_centric_key_switch(&ctx, &d, level, &ksk);
         assert_eq!(reference.0, oc.0, "dnum={dnum}");

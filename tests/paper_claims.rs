@@ -5,8 +5,8 @@ use ciflow::analysis::{min_memory_without_spills, table2_rows};
 use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
 use ciflow::sweep::{
-    ark_saturation_point, baseline_runtime_ms, min_bandwidth_for_runtime, streaming_equivalence_row,
-    table4_rows, table5_rows, BASELINE_BANDWIDTH_GBPS,
+    ark_saturation_point, baseline_runtime_ms, min_bandwidth_for_runtime,
+    streaming_equivalence_row, table4_rows, table5_rows, BASELINE_BANDWIDTH_GBPS,
 };
 use rpu::{EvkPolicy, RpuConfig};
 
@@ -61,7 +61,12 @@ fn headline_bandwidth_saving_versus_mp_baseline() {
             1024.0,
         );
         let saving = BASELINE_BANDWIDTH_GBPS / needed;
-        assert!(saving > 1.2, "{}: bandwidth saving {:.2}x", bench.name, saving);
+        assert!(
+            saving > 1.2,
+            "{}: bandwidth saving {:.2}x",
+            bench.name,
+            saving
+        );
     }
 }
 
@@ -73,14 +78,24 @@ fn arithmetic_intensity_gains_are_in_the_paper_band() {
     for bench in HksBenchmark::all() {
         let get = |d: Dataflow| {
             rows.iter()
-                .find(|r| r.benchmark == bench.name && r.dataflow == d)
+                .find(|r| r.benchmark == bench.name && r.dataflow == d.short_name())
                 .unwrap()
                 .arithmetic_intensity
         };
         let vs_mp = get(Dataflow::OutputCentric) / get(Dataflow::MaxParallel);
         let vs_dc = get(Dataflow::OutputCentric) / get(Dataflow::DigitCentric);
-        assert!((1.3..=3.5).contains(&vs_mp), "{}: OC/MP {:.2}", bench.name, vs_mp);
-        assert!((1.0..=3.0).contains(&vs_dc), "{}: OC/DC {:.2}", bench.name, vs_dc);
+        assert!(
+            (1.3..=3.5).contains(&vs_mp),
+            "{}: OC/MP {:.2}",
+            bench.name,
+            vs_mp
+        );
+        assert!(
+            (1.0..=3.0).contains(&vs_dc),
+            "{}: OC/DC {:.2}",
+            bench.name,
+            vs_dc
+        );
     }
 }
 
@@ -101,10 +116,18 @@ fn saturation_point_analysis_matches_the_papers_ordering() {
     // OC needs the least bandwidth, then DC, then MP; and the saturation
     // point itself is bounded by the compute roof.
     let rows = table5_rows();
-    let get = |label: &str| rows.iter().find(|r| r.label == label).unwrap().bandwidth_gbps;
+    let get = |label: &str| {
+        rows.iter()
+            .find(|r| r.label == label)
+            .unwrap()
+            .bandwidth_gbps
+    };
     assert!(get("OC") <= get("DC"));
     assert!(get("DC") <= get("MP"));
-    assert!(get("OC") < 128.0, "OC should need far less than the saturation bandwidth");
+    assert!(
+        get("OC") < 128.0,
+        "OC should need far less than the saturation bandwidth"
+    );
 
     let (_, sat_runtime) = ark_saturation_point();
     // The saturation runtime must be close to the pure compute bound.
@@ -120,14 +143,23 @@ fn figure4_low_bandwidth_gap_and_high_bandwidth_convergence() {
     // The defining shape of Figure 4: a large OC advantage at 8 GB/s that
     // shrinks towards parity at very high bandwidth, for every benchmark.
     for bench in HksBenchmark::all() {
-        let runtime = |d: Dataflow, bw: f64| {
-            ciflow::runner::runtime_ms(bench, d, bw, EvkPolicy::OnChip)
-        };
+        let runtime =
+            |d: Dataflow, bw: f64| ciflow::runner::runtime_ms(bench, d, bw, EvkPolicy::OnChip);
         let gap_low = runtime(Dataflow::MaxParallel, 8.0) / runtime(Dataflow::OutputCentric, 8.0);
         let gap_high =
             runtime(Dataflow::MaxParallel, 1024.0) / runtime(Dataflow::OutputCentric, 1024.0);
-        assert!(gap_low > 1.2, "{}: low-bandwidth gap {:.2}", bench.name, gap_low);
+        assert!(
+            gap_low > 1.2,
+            "{}: low-bandwidth gap {:.2}",
+            bench.name,
+            gap_low
+        );
         assert!(gap_high < gap_low, "{}", bench.name);
-        assert!(gap_high < 1.35, "{}: high-bandwidth gap {:.2}", bench.name, gap_high);
+        assert!(
+            gap_high < 1.35,
+            "{}: high-bandwidth gap {:.2}",
+            bench.name,
+            gap_high
+        );
     }
 }

@@ -1,0 +1,264 @@
+//! Integration tests of the `ciflow::api` session layer: registry
+//! round-trips with an out-of-crate strategy, parallel batch execution with
+//! per-job results, and cross-strategy invariants over the built-in
+//! dataflows.
+
+use ciflow::api::{Job, ScheduleStrategy, Session, StrategyRegistry};
+use ciflow::benchmark::HksBenchmark;
+use ciflow::dataflow::Dataflow;
+use ciflow::error::CiflowError;
+use ciflow::hks_shape::HksShape;
+use ciflow::schedule::{Schedule, ScheduleConfig};
+use rpu::{ComputeKind, EvkPolicy, MemoryDirection, RpuConfig, TaskGraph};
+use std::sync::Arc;
+
+/// A deliberately naive out-of-crate strategy: stream everything, reuse
+/// nothing. It is built purely from the public `rpu` task-graph API — no
+/// access to anything `pub(crate)` inside `ciflow` — which is exactly the
+/// situation of a downstream crate plugging in a new dataflow.
+struct NoReuse;
+
+impl ScheduleStrategy for NoReuse {
+    fn name(&self) -> &str {
+        "no-reuse"
+    }
+
+    fn short_name(&self) -> &str {
+        "NR"
+    }
+
+    fn description(&self) -> &str {
+        "worst case: every stage round-trips its operands through DRAM"
+    }
+
+    fn build(&self, shape: &HksShape, config: &ScheduleConfig) -> Result<Schedule, CiflowError> {
+        let mut graph = TaskGraph::new();
+        let mut spill_bytes = 0;
+        let mut previous = None;
+        // One load -> compute -> store round trip per stage, sized by the
+        // whole working set: a strict upper bound on any real dataflow.
+        let stage_ops = [
+            ("ModUp-P1", shape.modup_ops() / 2),
+            ("ModUp-P5", shape.modup_ops() - shape.modup_ops() / 2),
+            ("ModDown-P1", shape.moddown_ops() / 2),
+            ("ModDown-P4", shape.moddown_ops() - shape.moddown_ops() / 2),
+        ];
+        let round_trip = shape.input_bytes() + shape.output_bytes() + shape.evk_bytes();
+        for (stage, ops) in stage_ops {
+            let load = graph.push_memory(
+                MemoryDirection::Load,
+                round_trip,
+                previous.map(|p| vec![p]).unwrap_or_default(),
+                format!("reload working set ({stage})"),
+                stage,
+            );
+            let compute = graph.push_compute(ComputeKind::Ntt, ops, vec![load], "stage", stage);
+            let store = graph.push_memory(
+                MemoryDirection::Store,
+                round_trip,
+                vec![compute],
+                format!("writeback working set ({stage})"),
+                stage,
+            );
+            spill_bytes += 2 * round_trip;
+            previous = Some(store);
+        }
+        let _ = config;
+        Ok(Schedule {
+            strategy: self.short_name().to_string(),
+            graph,
+            peak_on_chip_bytes: 0,
+            spill_bytes,
+        })
+    }
+}
+
+/// A strategy that always fails, for error-path coverage.
+struct Refusing;
+
+impl ScheduleStrategy for Refusing {
+    fn name(&self) -> &str {
+        "refusing"
+    }
+    fn short_name(&self) -> &str {
+        "NO"
+    }
+    fn build(&self, _shape: &HksShape, _config: &ScheduleConfig) -> Result<Schedule, CiflowError> {
+        Err(CiflowError::ScheduleBuild {
+            strategy: "NO".to_string(),
+            message: "this strategy never schedules anything".to_string(),
+        })
+    }
+}
+
+#[test]
+fn custom_strategy_round_trips_through_registry_and_session() {
+    // Register out-of-crate, resolve by name (any casing), execute via the
+    // session — without modifying anything inside `ciflow`.
+    let session = Session::new()
+        .register(Arc::new(NoReuse))
+        .expect("NR is a fresh name");
+    assert!(session.registry().contains("NR"));
+    assert!(session.registry().contains("no-reuse"));
+    assert_eq!(session.registry().len(), 4);
+
+    let output = session
+        .run_one(HksBenchmark::ARK, "nr")
+        .expect("custom strategy must execute");
+    assert_eq!(output.strategy, "NR");
+    assert!(output.runtime_ms() > 0.0);
+    assert_eq!(
+        output.stats.total_ops,
+        HksShape::new(HksBenchmark::ARK).total_ops()
+    );
+
+    // The deliberately wasteful strategy must be slower than every built-in.
+    for dataflow in Dataflow::all() {
+        let builtin = session.run_one(HksBenchmark::ARK, dataflow).unwrap();
+        assert!(
+            output.runtime_ms() > builtin.runtime_ms(),
+            "NR ({:.2} ms) should lose to {dataflow} ({:.2} ms)",
+            output.runtime_ms(),
+            builtin.runtime_ms()
+        );
+    }
+}
+
+#[test]
+fn registry_rejects_collisions_and_reports_unknown_names() {
+    let mut registry = StrategyRegistry::builtin();
+    registry.register(Arc::new(NoReuse)).unwrap();
+    let err = registry.register(Arc::new(NoReuse)).unwrap_err();
+    assert!(matches!(err, CiflowError::DuplicateStrategy { .. }));
+
+    let err = registry.get("does-not-exist").map(|_| ()).unwrap_err();
+    match err {
+        CiflowError::UnknownStrategy { name, known } => {
+            assert_eq!(name, "does-not-exist");
+            assert_eq!(known, vec!["MP", "DC", "OC", "NR"]);
+        }
+        other => panic!("expected UnknownStrategy, got {other}"),
+    }
+}
+
+#[test]
+fn batch_of_twenty_jobs_executes_in_parallel_with_per_job_results() {
+    // 5 benchmarks x 3 dataflows + 5 failing jobs = 20 jobs. The failures
+    // must not disturb the successes, and order must be preserved.
+    let mut session = Session::new()
+        .with_rpu(RpuConfig::ciflow_with_policy(EvkPolicy::Streamed).with_bandwidth(64.0))
+        .register(Arc::new(Refusing))
+        .unwrap();
+    for benchmark in HksBenchmark::all() {
+        for dataflow in Dataflow::all() {
+            session = session.job(benchmark, dataflow);
+        }
+        session = session
+            .push(Job::new(benchmark, "NO").with_label(format!("{}-refused", benchmark.name)));
+    }
+    assert_eq!(session.job_count(), 20);
+
+    let outcome = session.run();
+    assert_eq!(outcome.len(), 20);
+    assert_eq!(outcome.successes().count(), 15);
+    assert_eq!(outcome.failures().count(), 5);
+    assert!(!outcome.all_ok());
+
+    for (i, benchmark) in HksBenchmark::all().into_iter().enumerate() {
+        let chunk = &outcome.results[i * 4..(i + 1) * 4];
+        for (result, dataflow) in chunk[..3].iter().zip(Dataflow::all()) {
+            let output = result.outcome.as_ref().expect("built-ins succeed");
+            assert_eq!(result.benchmark, benchmark);
+            assert_eq!(output.strategy, dataflow.short_name());
+            assert!(output.runtime_ms() > 0.0);
+        }
+        assert_eq!(chunk[3].label, format!("{}-refused", benchmark.name));
+        assert!(matches!(
+            chunk[3].outcome,
+            Err(CiflowError::ScheduleBuild { .. })
+        ));
+    }
+}
+
+#[test]
+fn builtin_strategies_agree_on_functional_work_per_benchmark() {
+    // "The number of operations per HKS benchmark is independent of
+    // dataflow" (paper §IV-D) — and the ModUp/ModDown split must agree too,
+    // because all three dataflows compute the same function.
+    let modup_moddown = |schedule: &Schedule| {
+        let mut modup = 0u64;
+        let mut moddown = 0u64;
+        for task in schedule.graph.tasks() {
+            if task.stage.starts_with("ModUp") {
+                modup += task.ops();
+            } else if task.stage.starts_with("ModDown") {
+                moddown += task.ops();
+            }
+        }
+        (modup, moddown)
+    };
+
+    let session = Session::new().with_rpu(RpuConfig::ciflow_streaming());
+    for benchmark in HksBenchmark::all() {
+        let shape = HksShape::new(benchmark);
+        let mut splits = Vec::new();
+        for dataflow in Dataflow::all() {
+            let output = session.run_one(benchmark, dataflow).unwrap();
+            // Identical executed work...
+            assert_eq!(
+                output.stats.total_ops,
+                shape.total_ops(),
+                "{benchmark} {dataflow}"
+            );
+            splits.push(modup_moddown(&output.schedule));
+        }
+        // ...with an identical ModUp/ModDown split across all strategies.
+        assert_eq!(splits[0], splits[1], "{benchmark}: MP vs DC split");
+        assert_eq!(splits[1], splits[2], "{benchmark}: DC vs OC split");
+        assert_eq!(
+            splits[0].0 + splits[0].1,
+            shape.total_ops(),
+            "{benchmark}: stages must cover all ops"
+        );
+    }
+}
+
+#[test]
+fn sweeps_accept_custom_strategies() {
+    let series = ciflow::sweep::try_bandwidth_sweep(
+        HksBenchmark::DPRIVE,
+        ciflow::api::StrategySpec::Inline(Arc::new(NoReuse)),
+        &[8.0, 64.0, 1024.0],
+        EvkPolicy::Streamed,
+        1.0,
+    )
+    .expect("inline strategies sweep without registration");
+    assert_eq!(series.dataflow, "NR");
+    assert_eq!(series.points.len(), 3);
+    assert!(series.points[2].runtime_ms < series.points[0].runtime_ms);
+
+    // Registered strategies sweep *by name* through the owning session.
+    let session = Session::new().register(Arc::new(NoReuse)).unwrap();
+    let by_name = ciflow::sweep::try_bandwidth_sweep_in(
+        &session,
+        HksBenchmark::DPRIVE,
+        "NR",
+        &[8.0, 64.0],
+        EvkPolicy::Streamed,
+        1.0,
+    )
+    .expect("registered strategies sweep by name");
+    assert_eq!(by_name.dataflow, "NR");
+    assert_eq!(by_name.points.len(), 2);
+    // ...but not through the builtin-only entry point.
+    assert!(matches!(
+        ciflow::sweep::try_bandwidth_sweep(
+            HksBenchmark::DPRIVE,
+            "NR",
+            &[8.0],
+            EvkPolicy::Streamed,
+            1.0
+        ),
+        Err(CiflowError::UnknownStrategy { .. })
+    ));
+}

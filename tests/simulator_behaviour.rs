@@ -100,7 +100,11 @@ fn modops_scaling_only_helps_when_compute_bound() {
     // high bandwidth it nearly halves it (Figure 8's two regimes).
     let runtime = |bw: f64, modops: f64| {
         HksRun::new(HksBenchmark::ARK, Dataflow::OutputCentric)
-            .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(bw).with_modops(modops))
+            .with_rpu(
+                RpuConfig::ciflow_baseline()
+                    .with_bandwidth(bw)
+                    .with_modops(modops),
+            )
             .execute()
             .unwrap()
             .stats
@@ -108,8 +112,14 @@ fn modops_scaling_only_helps_when_compute_bound() {
     };
     let low_bw_gain = runtime(8.0, 1.0) / runtime(8.0, 2.0);
     let high_bw_gain = runtime(512.0, 1.0) / runtime(512.0, 2.0);
-    assert!(low_bw_gain < 1.3, "low-bandwidth MODOPS gain {low_bw_gain:.2}");
-    assert!(high_bw_gain > 1.6, "high-bandwidth MODOPS gain {high_bw_gain:.2}");
+    assert!(
+        low_bw_gain < 1.3,
+        "low-bandwidth MODOPS gain {low_bw_gain:.2}"
+    );
+    assert!(
+        high_bw_gain > 1.6,
+        "high-bandwidth MODOPS gain {high_bw_gain:.2}"
+    );
 }
 
 #[test]
