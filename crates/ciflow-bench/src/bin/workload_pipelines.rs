@@ -1,0 +1,92 @@
+//! Multi-kernel workload pipelines across the Figure-4 bandwidth ladder:
+//! per-strategy pipeline runtime, compute-idle fraction, and the
+//! prefetch-overlap speedup of fused execution over running the same kernels
+//! back-to-back unfused.
+//!
+//! The workload is an 8-rotation batch (the dominant chained-key-switch
+//! pattern in CKKS matrix-vector products and bootstrapping), reported for
+//! ARK, DPRIVE and BTS3 with evks on-chip, plus an evk-streaming section for
+//! ARK where the fusion layer's cross-kernel prefetch moves the next
+//! kernel's key material under the current kernel's compute.
+
+use ciflow::api::{Job, JobOutput, Session};
+use ciflow::benchmark::HksBenchmark;
+use ciflow::dataflow::Dataflow;
+use ciflow::report::markdown_table;
+use ciflow::sweep::BANDWIDTH_LADDER;
+use ciflow::workload::{PipelineMode, Workload};
+use rpu::{EvkPolicy, RpuConfig};
+
+const ROTATIONS: usize = 8;
+
+/// Runs the workload for one benchmark under every (strategy, bandwidth,
+/// mode) combination as a single parallel batch and returns the outputs in
+/// submission order.
+fn run_ladder(benchmark: HksBenchmark, evk_policy: EvkPolicy) -> Vec<JobOutput> {
+    let workload = Workload::rotation_batch(benchmark, ROTATIONS);
+    let mut session = Session::new();
+    for dataflow in Dataflow::all() {
+        for &bandwidth in BANDWIDTH_LADDER.iter() {
+            for mode in [PipelineMode::BackToBack, PipelineMode::Fused] {
+                session =
+                    session.push(Job::workload(workload.clone(), dataflow, mode).with_rpu(
+                        RpuConfig::ciflow_with_policy(evk_policy).with_bandwidth(bandwidth),
+                    ));
+            }
+        }
+    }
+    session
+        .run()
+        .into_outputs()
+        .expect("built-in pipelines are infallible")
+}
+
+fn render(benchmark: HksBenchmark, evk_policy: EvkPolicy) {
+    let outputs = run_ladder(benchmark, evk_policy);
+    for (d, dataflow) in Dataflow::all().into_iter().enumerate() {
+        ciflow_bench::section(&format!(
+            "Workload pipeline: {} x{ROTATIONS} rotations, {dataflow} ({evk_policy})",
+            benchmark.name
+        ));
+        let mut rows = Vec::new();
+        for (b, &bandwidth) in BANDWIDTH_LADDER.iter().enumerate() {
+            let base = d * BANDWIDTH_LADDER.len() * 2 + b * 2;
+            let unfused = &outputs[base];
+            let fused = &outputs[base + 1];
+            rows.push(vec![
+                format!("{bandwidth}"),
+                format!("{:.2}", unfused.runtime_ms()),
+                format!("{:.2}", fused.runtime_ms()),
+                format!("{:.2}x", unfused.runtime_ms() / fused.runtime_ms()),
+                format!("{:.1}%", 100.0 * unfused.stats.compute_idle_fraction()),
+                format!("{:.1}%", 100.0 * fused.stats.compute_idle_fraction()),
+                format!("{:.2}", fused.runtime_ms_per_kernel()),
+            ]);
+        }
+        print!(
+            "{}",
+            markdown_table(
+                &[
+                    "BW (GB/s)",
+                    "unfused (ms)",
+                    "fused (ms)",
+                    "speedup",
+                    "idle unfused",
+                    "idle fused",
+                    "fused ms/HKS",
+                ],
+                &rows,
+            )
+        );
+    }
+}
+
+fn main() {
+    for benchmark in [HksBenchmark::ARK, HksBenchmark::DPRIVE, HksBenchmark::BTS3] {
+        render(benchmark, EvkPolicy::OnChip);
+    }
+    // With streamed evks the memory queue prefetches the next kernel's key
+    // towers under the current kernel's compute — the overlap the fusion
+    // layer exists for.
+    render(HksBenchmark::ARK, EvkPolicy::Streamed);
+}

@@ -7,6 +7,7 @@ use crate::dataflow::Dataflow;
 use crate::error::CiflowError;
 use crate::hks_shape::HksShape;
 use crate::schedule::{Schedule, ScheduleConfig};
+use crate::workload::{build_workload, PipelineMode, Workload};
 use rpu::{ExecutionStats, ExecutionTrace, RpuConfig, RpuEngine};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -64,8 +65,20 @@ impl StrategySpec {
     }
 }
 
+/// A multi-kernel workload attached to a [`Job`]: the pipeline description
+/// plus the mode its kernels are stitched under.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// The kernel sequence to pipeline.
+    pub workload: Workload,
+    /// Fused pipeline or back-to-back baseline.
+    pub mode: PipelineMode,
+}
+
 /// One unit of work in a [`Session`] batch: a benchmark scheduled by a
-/// strategy, optionally on a job-specific RPU configuration.
+/// strategy, optionally on a job-specific RPU configuration. A job runs
+/// either one HKS kernel (the default) or a whole multi-kernel
+/// [`Workload`] pipeline.
 #[derive(Debug, Clone)]
 pub struct Job {
     /// The parameter point to run.
@@ -76,6 +89,9 @@ pub struct Job {
     pub rpu: Option<RpuConfig>,
     /// Optional caller-supplied label, reported back in [`JobResult`].
     pub label: Option<String>,
+    /// When set, the job runs this multi-kernel pipeline instead of a single
+    /// key switch.
+    pub workload: Option<WorkloadSpec>,
 }
 
 impl Job {
@@ -86,6 +102,23 @@ impl Job {
             strategy: strategy.into(),
             rpu: None,
             label: None,
+            workload: None,
+        }
+    }
+
+    /// A job running a multi-kernel `workload` pipeline under `strategy` in
+    /// the given [`PipelineMode`].
+    pub fn workload(
+        workload: Workload,
+        strategy: impl Into<StrategySpec>,
+        mode: PipelineMode,
+    ) -> Self {
+        Self {
+            benchmark: workload.benchmark,
+            strategy: strategy.into(),
+            rpu: None,
+            label: None,
+            workload: Some(WorkloadSpec { workload, mode }),
         }
     }
 
@@ -99,6 +132,16 @@ impl Job {
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
         self
+    }
+
+    /// The parameter point the job actually runs: a workload job always runs
+    /// its workload's benchmark, even if the (public) `benchmark` field was
+    /// mutated to disagree.
+    pub fn effective_benchmark(&self) -> HksBenchmark {
+        self.workload
+            .as_ref()
+            .map(|spec| spec.workload.benchmark)
+            .unwrap_or(self.benchmark)
     }
 
     fn strategy_name(&self) -> String {
@@ -121,12 +164,20 @@ pub struct JobOutput {
     pub trace: ExecutionTrace,
     /// The schedule that was executed.
     pub schedule: Schedule,
+    /// Number of HKS kernel invocations the schedule covered (1 for a plain
+    /// job, the pipeline length for a workload job).
+    pub kernels: usize,
 }
 
 impl JobOutput {
     /// Runtime in milliseconds.
     pub fn runtime_ms(&self) -> f64 {
         self.stats.runtime_ms()
+    }
+
+    /// Runtime in milliseconds amortized per HKS kernel invocation.
+    pub fn runtime_ms_per_kernel(&self) -> f64 {
+        self.stats.runtime_ms() / self.kernels as f64
     }
 
     /// Total DRAM traffic in MiB.
@@ -303,7 +354,7 @@ impl Session {
         let indexed: Vec<&Job> = self.jobs.iter().collect();
         let results = crate::parallel::map(indexed, |job| JobResult {
             label: self.job_label(job),
-            benchmark: job.benchmark,
+            benchmark: job.effective_benchmark(),
             strategy: job.strategy_name(),
             outcome: self.run_job_isolated(job),
         });
@@ -322,21 +373,35 @@ impl Session {
             StrategySpec::Inline(strategy) => Arc::clone(strategy),
         };
         let rpu = job.rpu.clone().unwrap_or_else(|| self.rpu.clone());
-        let shape = HksShape::new(job.benchmark);
         let schedule_config = ScheduleConfig {
             data_memory_bytes: rpu.vector_memory_bytes,
             evk_policy: rpu.evk_policy,
         };
-        let schedule = strategy.build(&shape, &schedule_config)?;
+        let (schedule, kernels) = match &job.workload {
+            Some(spec) => {
+                let pipeline = build_workload(
+                    &spec.workload,
+                    strategy.as_ref(),
+                    &schedule_config,
+                    spec.mode,
+                )?;
+                (pipeline.schedule, pipeline.kernels)
+            }
+            None => {
+                let shape = HksShape::new(job.benchmark);
+                (strategy.build(&shape, &schedule_config)?, 1)
+            }
+        };
         let engine = RpuEngine::new(rpu.clone());
         let result = engine.execute(&schedule.graph)?;
         Ok(JobOutput {
-            benchmark: job.benchmark,
+            benchmark: job.effective_benchmark(),
             strategy: schedule.strategy.clone(),
             rpu,
             stats: result.stats,
             trace: result.trace,
             schedule,
+            kernels,
         })
     }
 
@@ -354,14 +419,32 @@ impl Session {
         self.run_job(&Job::new(benchmark, strategy))
     }
 
+    /// Convenience: run one multi-kernel workload pipeline on the session RPU
+    /// and return its output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the job's [`CiflowError`].
+    pub fn run_workload(
+        &self,
+        workload: Workload,
+        strategy: impl Into<StrategySpec>,
+        mode: PipelineMode,
+    ) -> Result<JobOutput, CiflowError> {
+        self.run_job(&Job::workload(workload, strategy, mode))
+    }
+
     fn job_label(&self, job: &Job) -> String {
         if let Some(label) = &job.label {
             return label.clone();
         }
         let rpu = job.rpu.as_ref().unwrap_or(&self.rpu);
+        let work = match &job.workload {
+            Some(spec) => format!("{} [{}]", spec.workload.name, spec.mode),
+            None => job.benchmark.name.to_string(),
+        };
         format!(
-            "{}/{}@{}GB/s",
-            job.benchmark.name,
+            "{work}/{}@{}GB/s",
             job.strategy_name(),
             rpu.dram_bandwidth_gbps
         )
@@ -498,6 +581,32 @@ mod tests {
             Err(CiflowError::StrategyPanicked { message, .. }) if message.contains("kaboom")
         ));
         assert!(outcome.results[1].outcome.is_ok());
+    }
+
+    #[test]
+    fn workload_jobs_run_in_batches_alongside_single_jobs() {
+        let workload = Workload::rotation_batch(HksBenchmark::ARK, 4);
+        let outcome = Session::new()
+            .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(12.8))
+            .job(HksBenchmark::ARK, "OC")
+            .push(Job::workload(workload.clone(), "OC", PipelineMode::Fused))
+            .push(Job::workload(workload, "OC", PipelineMode::BackToBack))
+            .run();
+        assert!(
+            outcome.all_ok(),
+            "failures: {:?}",
+            outcome.failures().count()
+        );
+        let outputs: Vec<&JobOutput> = outcome.successes().collect();
+        assert_eq!(outputs[0].kernels, 1);
+        assert_eq!(outputs[1].kernels, 4);
+        assert_eq!(outputs[2].kernels, 4);
+        // The fused pipeline beats back-to-back, and per-kernel amortized
+        // runtime beats the standalone kernel.
+        assert!(outputs[1].runtime_ms() < outputs[2].runtime_ms());
+        assert!(outputs[1].runtime_ms_per_kernel() < outputs[0].runtime_ms());
+        assert!(outcome.results[1].label.contains("[fused]"));
+        assert!(outcome.results[2].label.contains("[back-to-back]"));
     }
 
     #[test]

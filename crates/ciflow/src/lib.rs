@@ -28,9 +28,13 @@
 //!   [`Dataflow`] is a thin compatibility shim over the strategy API.
 //! * [`analysis`] — DRAM traffic, arithmetic intensity and minimum-memory
 //!   analysis (Tables II and III).
+//! * [`workload`] — multi-kernel pipelines: chained HKS invocations
+//!   (rotation batches, relinearizations, the bootstrapping key-switch
+//!   backbone) fused into one task graph so the memory queue prefetches the
+//!   next kernel's evk towers and limbs under the current kernel's compute.
 //! * [`runner`] / [`sweep`] — the legacy single-run wrapper and the
-//!   `Session`-powered bandwidth / MODOPS / evk-placement sweeps behind
-//!   Figures 4–9 and Tables IV–V.
+//!   `Session`-powered bandwidth / MODOPS / evk-placement / workload sweeps
+//!   behind Figures 4–9 and Tables IV–V.
 //! * [`report`] — markdown / CSV / ASCII rendering of every table and figure.
 //! * [`functional`] — bit-exact validation that the Output-Centric
 //!   decomposition computes the same function as the reference CKKS key
@@ -102,6 +106,7 @@ pub mod report;
 pub mod runner;
 pub mod schedule;
 pub mod sweep;
+pub mod workload;
 
 pub use api::{
     BatchOutcome, Job, JobOutput, JobResult, ScheduleStrategy, Session, StrategyRegistry,
@@ -112,3 +117,4 @@ pub use error::CiflowError;
 pub use hks_shape::{HksShape, HksStage};
 pub use runner::{HksRun, HksRunResult};
 pub use schedule::{build_schedule, Schedule, ScheduleConfig};
+pub use workload::{build_workload, KernelStep, PipelineMode, Workload, WorkloadSchedule};

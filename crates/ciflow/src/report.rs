@@ -27,23 +27,33 @@ pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// Renders the Table II analogue (DRAM traffic and arithmetic intensity).
+///
+/// The strategy columns are derived from the rows in first-seen order, so
+/// custom registered strategies render alongside the paper's MP/DC/OC
+/// instead of silently vanishing.
 pub fn render_table2(rows: &[TrafficRow]) -> String {
-    let mut grouped: Vec<Vec<String>> = Vec::new();
-    let benchmarks: Vec<&str> = {
+    fn first_seen<'a>(
+        rows: &'a [TrafficRow],
+        key: impl Fn(&'a TrafficRow) -> &'a str,
+    ) -> Vec<&'a str> {
         let mut seen = Vec::new();
         for r in rows {
-            if !seen.contains(&r.benchmark) {
-                seen.push(r.benchmark);
+            let k = key(r);
+            if !seen.contains(&k) {
+                seen.push(k);
             }
         }
         seen
-    };
+    }
+    let benchmarks = first_seen(rows, |r| r.benchmark);
+    let strategies = first_seen(rows, |r| r.dataflow.as_str());
+    let mut grouped: Vec<Vec<String>> = Vec::new();
     for bench in benchmarks {
         let mut cells = vec![bench.to_string()];
-        for dataflow in ["MP", "DC", "OC"] {
+        for dataflow in &strategies {
             if let Some(r) = rows
                 .iter()
-                .find(|r| r.benchmark == bench && r.dataflow == dataflow)
+                .find(|r| r.benchmark == bench && r.dataflow == *dataflow)
             {
                 cells.push(format!("{:.0}", r.dram_mib()));
                 cells.push(format!("{:.2}", r.arithmetic_intensity));
@@ -54,18 +64,13 @@ pub fn render_table2(rows: &[TrafficRow]) -> String {
         }
         grouped.push(cells);
     }
-    markdown_table(
-        &[
-            "Benchmark",
-            "MP MiB",
-            "MP AI",
-            "DC MiB",
-            "DC AI",
-            "OC MiB",
-            "OC AI",
-        ],
-        &grouped,
-    )
+    let mut header = vec!["Benchmark".to_string()];
+    for s in &strategies {
+        header.push(format!("{s} MiB"));
+        header.push(format!("{s} AI"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    markdown_table(&header_refs, &grouped)
 }
 
 /// Renders the Table III analogue (benchmark parameters).
@@ -245,6 +250,28 @@ mod tests {
             assert!(t2.contains(b.name), "table2 missing {}", b.name);
             assert!(t3.contains(b.name), "table3 missing {}", b.name);
         }
+        assert!(t2.lines().next().unwrap().contains("MP MiB"));
+    }
+
+    #[test]
+    fn table2_renders_custom_strategy_columns() {
+        // Regression: the renderer used to hard-code ["MP", "DC", "OC"],
+        // silently dropping rows from custom registered strategies.
+        let mut rows = table2_rows();
+        let mut custom = rows[0].clone();
+        custom.dataflow = "ZZ".to_string();
+        custom.dram_bytes = 123 * 1024 * 1024;
+        rows.push(custom);
+        let table = render_table2(&rows);
+        let header = table.lines().next().unwrap().to_string();
+        assert!(
+            header.contains("ZZ MiB") && header.contains("ZZ AI"),
+            "{header}"
+        );
+        let first_row = table.lines().nth(2).unwrap();
+        assert!(first_row.contains("123"), "{first_row}");
+        // Benchmarks without a ZZ row render placeholders, not nothing.
+        assert!(table.lines().nth(3).unwrap().contains(" - "));
     }
 
     #[test]

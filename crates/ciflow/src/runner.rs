@@ -2,8 +2,9 @@
 
 use crate::benchmark::HksBenchmark;
 use crate::dataflow::Dataflow;
+use crate::error::CiflowError;
 use crate::schedule::Schedule;
-use rpu::{EngineError, ExecutionStats, ExecutionTrace, RpuConfig};
+use rpu::{ExecutionStats, ExecutionTrace, RpuConfig};
 use serde::Serialize;
 
 /// Everything needed to run one benchmark under one dataflow on one RPU
@@ -25,6 +26,8 @@ pub struct HksRunResult {
     pub benchmark: &'static str,
     /// The dataflow used.
     pub dataflow: Dataflow,
+    /// The RPU configuration the run actually executed on.
+    pub rpu: RpuConfig,
     /// Execution statistics (runtime, idle fractions, traffic).
     pub stats: ExecutionStats,
     /// Per-task trace (for timing diagrams).
@@ -57,14 +60,17 @@ pub struct HksRunSummary {
 }
 
 impl HksRunResult {
-    /// Builds the serializable summary for a given configuration.
-    pub fn summary(&self, rpu: &RpuConfig) -> HksRunSummary {
+    /// Builds the serializable summary of the run. The configuration columns
+    /// (bandwidth, MODOPS, evk placement) come from the configuration the run
+    /// actually executed on — callers can no longer hand in a mismatched
+    /// `RpuConfig` and silently misreport them.
+    pub fn summary(&self) -> HksRunSummary {
         HksRunSummary {
             benchmark: self.benchmark,
             dataflow: self.dataflow.short_name().to_string(),
-            bandwidth_gbps: rpu.dram_bandwidth_gbps,
-            modops: rpu.modops_multiplier,
-            evk_streamed: rpu.evk_policy == rpu::EvkPolicy::Streamed,
+            bandwidth_gbps: self.rpu.dram_bandwidth_gbps,
+            modops: self.rpu.modops_multiplier,
+            evk_streamed: self.rpu.evk_policy == rpu::EvkPolicy::Streamed,
             runtime_ms: self.stats.runtime_ms(),
             compute_idle: self.stats.compute_idle_fraction(),
             dram_mib: self.stats.total_bytes() as f64 / rpu::MIB as f64,
@@ -97,19 +103,27 @@ impl HksRun {
     ///
     /// # Errors
     ///
-    /// Propagates [`EngineError`] if the schedule cannot be executed (which
-    /// would indicate a generator bug).
-    pub fn execute(&self) -> Result<HksRunResult, EngineError> {
-        let output = crate::api::Session::new()
-            .with_rpu(self.rpu.clone())
-            .run_one(self.benchmark, self.dataflow)
-            .map_err(|error| match error {
-                crate::error::CiflowError::Engine(e) => e,
-                other => unreachable!("built-in dataflow runs only fail in the engine: {other}"),
-            })?;
+    /// Propagates the full [`CiflowError`] hierarchy: strategy resolution,
+    /// schedule construction, and engine failures all surface as typed
+    /// errors (never a panic).
+    pub fn execute(&self) -> Result<HksRunResult, CiflowError> {
+        self.execute_in(&crate::api::Session::new())
+    }
+
+    /// [`HksRun::execute`] resolving the dataflow through `session`'s
+    /// strategy registry (the run's own `RpuConfig` still applies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the job's [`CiflowError`].
+    pub fn execute_in(&self, session: &crate::api::Session) -> Result<HksRunResult, CiflowError> {
+        let output = session.run_job(
+            &crate::api::Job::new(self.benchmark, self.dataflow).with_rpu(self.rpu.clone()),
+        )?;
         Ok(HksRunResult {
             benchmark: self.benchmark.name,
             dataflow: self.dataflow,
+            rpu: output.rpu,
             stats: output.stats,
             trace: output.trace,
             schedule: output.schedule,
@@ -153,10 +167,44 @@ mod tests {
         assert!(result.stats.runtime_ms() < 1000.0);
         assert!(result.stats.total_ops > 0);
         assert!(!result.trace.records().is_empty());
-        let summary = result.summary(&RpuConfig::ciflow_baseline());
+        let summary = result.summary();
         assert_eq!(summary.benchmark, "ARK");
         assert_eq!(summary.dataflow, "OC");
         assert!(!summary.evk_streamed);
+    }
+
+    #[test]
+    fn summary_reports_the_configuration_the_run_used() {
+        // Regression: summary() used to take a caller-supplied RpuConfig that
+        // could silently disagree with the configuration the run executed on.
+        let rpu = RpuConfig::ciflow_streaming()
+            .with_bandwidth(25.6)
+            .with_modops(2.0);
+        let result = HksRun::new(HksBenchmark::DPRIVE, Dataflow::OutputCentric)
+            .with_rpu(rpu.clone())
+            .execute()
+            .unwrap();
+        assert_eq!(result.rpu, rpu);
+        let summary = result.summary();
+        assert_eq!(summary.bandwidth_gbps, 25.6);
+        assert_eq!(summary.modops, 2.0);
+        assert!(summary.evk_streamed);
+    }
+
+    #[test]
+    fn execute_propagates_session_errors_instead_of_panicking() {
+        // Regression: a non-engine CiflowError out of the session used to hit
+        // an `unreachable!` in the compat wrapper. An empty registry makes
+        // strategy resolution fail; the error must surface as a typed Err.
+        let session =
+            crate::api::Session::new().with_registry(crate::api::StrategyRegistry::empty());
+        let error = HksRun::new(HksBenchmark::ARK, Dataflow::OutputCentric)
+            .execute_in(&session)
+            .unwrap_err();
+        assert!(matches!(
+            error,
+            crate::error::CiflowError::UnknownStrategy { .. }
+        ));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Schedule generation: turning an HKS shape into an RPU task graph under one
 //! of the three dataflows.
 //!
-//! Every generator uses the same [`ScheduleBuilder`], which combines a
-//! [`TaskGraph`] under construction with an [`OnChipTracker`] of the RPU's
+//! Every generator uses the same crate-internal `ScheduleBuilder`, which
+//! combines a [`TaskGraph`] under construction with an [`OnChipTracker`] of the RPU's
 //! data memory. The builder decides, buffer by buffer, whether an
 //! intermediate stays resident (free reuse) or must be spilled to DRAM and
 //! reloaded (extra memory tasks) — exactly the trade-off the paper's

@@ -1,6 +1,6 @@
 //! Parameter sweeps: the drivers behind Figures 4–9 and Tables IV–V.
 //!
-//! Every sweep is built on the [`Session`](crate::api::Session) batch API:
+//! Every sweep is built on the [`Session`] batch API:
 //! the sampled points become jobs, the batch fans out across all cores, and
 //! failures surface as typed [`CiflowError`]s instead of panics. The
 //! historical panicking entry points (`bandwidth_sweep`, `runtime_with`, …)
@@ -14,6 +14,7 @@ use crate::api::{Job, Session, StrategySpec};
 use crate::benchmark::HksBenchmark;
 use crate::dataflow::Dataflow;
 use crate::error::CiflowError;
+use crate::workload::{PipelineMode, Workload};
 use rpu::{EvkPolicy, RpuConfig};
 use serde::Serialize;
 
@@ -104,12 +105,36 @@ pub fn try_bandwidth_sweep_in(
     evk_policy: EvkPolicy,
     modops: f64,
 ) -> Result<SweepSeries, CiflowError> {
-    let spec: StrategySpec = strategy.into();
+    sweep_series(
+        session,
+        benchmark.name,
+        strategy.into(),
+        bandwidths,
+        evk_policy,
+        modops,
+        |spec| Job::new(benchmark, spec),
+    )
+}
+
+/// Shared core of the bandwidth sweeps: runs one job per bandwidth point as a
+/// parallel batch (resolving names through `session`'s registry) and
+/// assembles the [`SweepSeries`].
+fn sweep_series(
+    session: &Session,
+    benchmark: &'static str,
+    spec: StrategySpec,
+    bandwidths: &[f64],
+    evk_policy: EvkPolicy,
+    modops: f64,
+    job: impl Fn(StrategySpec) -> Job,
+) -> Result<SweepSeries, CiflowError> {
     let sweep_session = Session::new()
         .with_registry(session.registry().clone())
-        .jobs(bandwidths.iter().map(|&bw| {
-            Job::new(benchmark, spec.clone()).with_rpu(sweep_rpu(evk_policy, bw, modops))
-        }));
+        .jobs(
+            bandwidths
+                .iter()
+                .map(|&bw| job(spec.clone()).with_rpu(sweep_rpu(evk_policy, bw, modops))),
+        );
     let outputs = sweep_session.run().into_outputs()?;
     let dataflow = outputs
         .first()
@@ -124,12 +149,67 @@ pub fn try_bandwidth_sweep_in(
         })
         .collect();
     Ok(SweepSeries {
-        benchmark: benchmark.name,
+        benchmark,
         dataflow,
         evk_streamed: evk_policy == EvkPolicy::Streamed,
         modops,
         points,
     })
+}
+
+/// Runs a runtime-vs-bandwidth sweep of a multi-kernel [`Workload`] pipeline
+/// (fused or back-to-back), executing all points as one parallel batch.
+/// Strategy names resolve against the built-in registry — use
+/// [`try_workload_sweep_in`] for custom registries.
+///
+/// # Errors
+///
+/// Returns the first failing point's [`CiflowError`].
+pub fn try_workload_sweep(
+    workload: &Workload,
+    strategy: impl Into<StrategySpec>,
+    bandwidths: &[f64],
+    evk_policy: EvkPolicy,
+    modops: f64,
+    mode: PipelineMode,
+) -> Result<SweepSeries, CiflowError> {
+    try_workload_sweep_in(
+        &Session::new(),
+        workload,
+        strategy,
+        bandwidths,
+        evk_policy,
+        modops,
+        mode,
+    )
+}
+
+/// [`try_workload_sweep`] resolving strategy names through `session`'s
+/// registry. Only the registry is taken from `session`; each point runs on
+/// the paper's RPU for `evk_policy` at its own bandwidth.
+///
+/// # Errors
+///
+/// Returns the first failing point's [`CiflowError`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_workload_sweep_in(
+    session: &Session,
+    workload: &Workload,
+    strategy: impl Into<StrategySpec>,
+    bandwidths: &[f64],
+    evk_policy: EvkPolicy,
+    modops: f64,
+    mode: PipelineMode,
+) -> Result<SweepSeries, CiflowError> {
+    sweep_series(
+        session,
+        workload.benchmark.name,
+        strategy.into(),
+        bandwidths,
+        evk_policy,
+        modops,
+        |spec| Job::workload(workload.clone(), spec, mode),
+    )
 }
 
 /// Runs a runtime-vs-bandwidth sweep for a built-in dataflow.
@@ -546,6 +626,53 @@ mod tests {
         for w in series.points.windows(2) {
             assert!(w[1].runtime_ms <= w[0].runtime_ms * 1.0001);
         }
+    }
+
+    #[test]
+    fn workload_sweep_is_monotone_and_fused_dominates() {
+        let workload = Workload::rotation_batch(HksBenchmark::ARK, 4);
+        let bandwidths = [8.0, 16.0, 32.0];
+        let fused = try_workload_sweep(
+            &workload,
+            Dataflow::OutputCentric,
+            &bandwidths,
+            EvkPolicy::OnChip,
+            1.0,
+            PipelineMode::Fused,
+        )
+        .unwrap();
+        let unfused = try_workload_sweep(
+            &workload,
+            Dataflow::OutputCentric,
+            &bandwidths,
+            EvkPolicy::OnChip,
+            1.0,
+            PipelineMode::BackToBack,
+        )
+        .unwrap();
+        assert_eq!(fused.points.len(), 3);
+        for w in fused.points.windows(2) {
+            assert!(w[1].runtime_ms <= w[0].runtime_ms * 1.0001);
+        }
+        for (f, u) in fused.points.iter().zip(&unfused.points) {
+            assert!(f.runtime_ms <= u.runtime_ms, "at {} GB/s", f.bandwidth_gbps);
+        }
+    }
+
+    #[test]
+    fn workload_sweep_reports_unknown_strategies() {
+        let result = try_workload_sweep(
+            &Workload::rotation_batch(HksBenchmark::ARK, 2),
+            "not-a-strategy",
+            &[8.0],
+            EvkPolicy::OnChip,
+            1.0,
+            PipelineMode::Fused,
+        );
+        assert!(matches!(
+            result,
+            Err(crate::error::CiflowError::UnknownStrategy { .. })
+        ));
     }
 
     #[test]

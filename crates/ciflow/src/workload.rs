@@ -1,0 +1,639 @@
+//! Multi-kernel workload pipelines: chained HKS invocations fused into one
+//! task graph.
+//!
+//! The paper evaluates single HKS kernels, but its headline argument — the
+//! dataflow decides whether key switching is bandwidth- or compute-bound —
+//! matters most in real CKKS programs where many key switches chain
+//! back-to-back: rotation batches, relinearize+rescale sequences, the
+//! key-switch backbone of bootstrapping. A [`Workload`] describes such a
+//! sequence of kernel steps over one Table III parameter point;
+//! [`build_workload`] turns it into a single fused task graph by stitching
+//! per-kernel schedules together with
+//! [`TaskGraph::append_offset`](rpu::TaskGraph::append_offset).
+//!
+//! Two pipeline modes are compared:
+//!
+//! * [`PipelineMode::BackToBack`] — the unfused baseline: every kernel waits
+//!   for the previous kernel to fully drain (a barrier between kernels),
+//!   which is what running each kernel as its own engine invocation would
+//!   measure.
+//! * [`PipelineMode::Fused`] — cross-kernel dependencies are expressed at
+//!   buffer granularity, so the decoupled memory queue prefetches kernel
+//!   *i+1*'s evk towers and input limbs under kernel *i*'s compute. When the
+//!   chained ciphertext polynomial fits in the data memory, its DRAM
+//!   round-trip (the producing kernel's output store and the consuming
+//!   kernel's input load) is elided entirely: the value is forwarded
+//!   on-chip.
+//!
+//! Fusion keys on the canonical buffer labels every
+//! [`ScheduleBuilder`](crate::schedule)-based strategy emits (`load in[t]`,
+//! `store out1[t]`). A custom strategy that does not use those labels still
+//! runs correctly — its kernels are chained through a conservative barrier —
+//! it just forgoes the overlap.
+
+use crate::api::ScheduleStrategy;
+use crate::benchmark::HksBenchmark;
+use crate::error::CiflowError;
+use crate::hks_shape::HksShape;
+use crate::schedule::{Schedule, ScheduleConfig};
+use rpu::{AppendAction, Task, TaskGraph, TaskId};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// One step of a workload: how many chained HKS invocations it expands to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum KernelStep {
+    /// A single hybrid key switch.
+    KeySwitch,
+    /// A batch of `count` chained rotations — each rotation applies its
+    /// Galois automorphism and key-switches the rotated polynomial (the
+    /// dominant pattern in CKKS matrix-vector products and bootstrapping's
+    /// CoeffToSlot/SlotToCoeff stages).
+    RotationBatch {
+        /// Number of rotations in the batch.
+        count: usize,
+    },
+    /// A relinearization after a ciphertext-ciphertext multiply: one key
+    /// switch of the quadratic component.
+    Relinearize,
+}
+
+impl KernelStep {
+    /// Number of HKS kernel invocations this step expands to.
+    pub fn hks_count(&self) -> usize {
+        match self {
+            KernelStep::KeySwitch | KernelStep::Relinearize => 1,
+            KernelStep::RotationBatch { count } => *count,
+        }
+    }
+}
+
+/// How the kernels of a workload are scheduled relative to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PipelineMode {
+    /// Kernels are fused into one pipeline: cross-kernel dependencies at
+    /// buffer granularity, memory-queue prefetch of the next kernel under the
+    /// current kernel's compute, and on-chip forwarding of the chained
+    /// polynomial when it fits.
+    Fused,
+    /// Kernels run back-to-back with a full barrier between them — the
+    /// unfused baseline.
+    BackToBack,
+}
+
+impl std::fmt::Display for PipelineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineMode::Fused => write!(f, "fused"),
+            PipelineMode::BackToBack => write!(f, "back-to-back"),
+        }
+    }
+}
+
+/// A named sequence of kernel steps over one benchmark parameter point.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Workload {
+    /// Human-readable workload name (used in job labels and reports).
+    pub name: String,
+    /// The Table III parameter point every kernel runs at.
+    pub benchmark: HksBenchmark,
+    steps: Vec<KernelStep>,
+}
+
+impl Workload {
+    /// An empty workload; add steps with [`Workload::step`].
+    pub fn new(name: impl Into<String>, benchmark: HksBenchmark) -> Self {
+        Self {
+            name: name.into(),
+            benchmark,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends one step.
+    pub fn step(mut self, step: KernelStep) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// The steps in execution order.
+    pub fn steps(&self) -> &[KernelStep] {
+        &self.steps
+    }
+
+    /// Total number of HKS kernel invocations across all steps.
+    pub fn hks_invocations(&self) -> usize {
+        self.steps.iter().map(KernelStep::hks_count).sum()
+    }
+
+    /// Preset: a batch of `count` chained rotations.
+    pub fn rotation_batch(benchmark: HksBenchmark, count: usize) -> Self {
+        Self::new(format!("rot{count}-{}", benchmark.name), benchmark)
+            .step(KernelStep::RotationBatch { count })
+    }
+
+    /// Preset: a multiply-relinearize-rotate inner loop (one relinearization
+    /// followed by a small rotation batch), the body of an encrypted
+    /// matrix-vector product.
+    pub fn mul_rot_block(benchmark: HksBenchmark, rotations: usize) -> Self {
+        Self::new(format!("mulrot{rotations}-{}", benchmark.name), benchmark)
+            .step(KernelStep::Relinearize)
+            .step(KernelStep::RotationBatch { count: rotations })
+    }
+
+    /// Preset: the key-switch backbone of one CKKS bootstrapping iteration —
+    /// a CoeffToSlot rotation batch, the EvalMod relinearization, and a
+    /// SlotToCoeff rotation batch, each batch followed by its own
+    /// relinearization.
+    pub fn bootstrap_key_switch(benchmark: HksBenchmark) -> Self {
+        Self::new(format!("bts-ks-{}", benchmark.name), benchmark)
+            .step(KernelStep::RotationBatch { count: 6 })
+            .step(KernelStep::Relinearize)
+            .step(KernelStep::RotationBatch { count: 6 })
+            .step(KernelStep::Relinearize)
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} x {} HKS)",
+            self.name,
+            self.benchmark.name,
+            self.hks_invocations()
+        )
+    }
+}
+
+/// A fused (or deliberately unfused) multi-kernel schedule plus its pipeline
+/// metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSchedule {
+    /// The stitched schedule: one task graph covering every kernel.
+    pub schedule: Schedule,
+    /// Number of HKS kernel invocations in the pipeline.
+    pub kernels: usize,
+    /// The pipeline mode the graph was stitched under.
+    pub mode: PipelineMode,
+    /// DRAM traffic eliminated by on-chip forwarding, in bytes (0 when
+    /// unfused or when the chained polynomial does not fit on-chip).
+    pub forwarded_bytes: u64,
+}
+
+/// The dependencies one kernel exposes to its successor.
+struct Boundary {
+    /// Every sink of the kernel (for the back-to-back barrier).
+    terminals: Vec<TaskId>,
+    /// Per output tower: the tasks standing for `store out1[t]` (the store
+    /// itself, or — when elided — the compute task producing the tower).
+    forward: HashMap<usize, Vec<TaskId>>,
+}
+
+/// Parses the tower index out of a canonical buffer label such as
+/// `store out1[12]` or `load in[3]`, given its prefix.
+fn tower_index(label: &str, prefix: &str) -> Option<usize> {
+    label.strip_prefix(prefix)?.strip_suffix(']')?.parse().ok()
+}
+
+/// True for the loads of the kernel's chained input polynomial.
+fn is_input_load(task: &Task) -> bool {
+    task.is_memory() && tower_index(&task.label, "load in[").is_some()
+}
+
+/// The tower a `store out1[t]` task writes, if this is one.
+fn forwarded_store_tower(task: &Task) -> Option<usize> {
+    if task.is_memory() {
+        tower_index(&task.label, "store out1[")
+    } else {
+        None
+    }
+}
+
+/// Builds the pipeline schedule for a workload under one strategy.
+///
+/// Every kernel invocation uses the schedule the strategy generates for the
+/// workload's benchmark; kernel *i+1*'s input is kernel *i*'s second output
+/// polynomial (the key-switched component a rotation or relinearization
+/// chains on). In [`PipelineMode::Fused`] mode the graphs are stitched at
+/// buffer granularity; in [`PipelineMode::BackToBack`] mode a barrier
+/// separates consecutive kernels.
+///
+/// # Errors
+///
+/// Returns [`CiflowError::InvalidConfig`] for a workload with zero kernel
+/// invocations, propagates the strategy's build error, and reports
+/// [`CiflowError::Graph`] if stitching produces an inconsistent graph (a
+/// fusion-layer bug).
+pub fn build_workload(
+    workload: &Workload,
+    strategy: &dyn ScheduleStrategy,
+    config: &ScheduleConfig,
+    mode: PipelineMode,
+) -> Result<WorkloadSchedule, CiflowError> {
+    let kernels = workload.hks_invocations();
+    if kernels == 0 {
+        return Err(CiflowError::InvalidConfig {
+            message: format!(
+                "workload {:?} contains no kernel invocations",
+                workload.name
+            ),
+        });
+    }
+    let shape = HksShape::new(workload.benchmark);
+    let kernel = strategy.build(&shape, config)?;
+
+    // Per-kernel boundary structure, computed once on the template graph.
+    let kernel_terminals = kernel.graph.terminal_tasks();
+    let forward_stores: HashMap<usize, TaskId> = kernel
+        .graph
+        .tasks()
+        .iter()
+        .filter_map(|t| forwarded_store_tower(t).map(|tower| (tower, t.id)))
+        .collect();
+    // Buffer-granular stitching needs the canonical input-load labels; a
+    // strategy without them chains through a conservative barrier instead.
+    let input_loads = kernel
+        .graph
+        .tasks()
+        .iter()
+        .filter(|t| is_input_load(t))
+        .count();
+    let canonical = input_loads > 0;
+    // On-chip forwarding requires the canonical per-tower output stores and a
+    // chained polynomial no larger than half the data memory. Forwarding is
+    // capacity-neutral relative to the per-kernel residency the tracker
+    // already accounts for: the producing kernel pins each `out1[t]` tower in
+    // the slots freed by the very combine that releases `acc0[t]`/`acc1[t]`,
+    // and the consuming kernel's working set charges `in[]` regardless of
+    // whether it arrives by DRAM load or by forwarding. The half-capacity
+    // bound keeps the boundary overlap (producer's ModDown tail running
+    // concurrently with the consumer's ModUp ramp) within the configured
+    // memory. Forwarding also requires exactly one load per input tower: a
+    // template with capacity-pressure *reloads* of `in[t]` re-reads data it
+    // evicted mid-kernel, and under forwarding that DRAM copy would not
+    // exist — such kernels chain through their stores instead.
+    let forwarding = mode == PipelineMode::Fused
+        && canonical
+        && input_loads == shape.ell()
+        && forward_stores.len() == shape.ell()
+        && 2 * shape.input_bytes() <= config.data_memory_bytes;
+
+    let mut graph = TaskGraph::new();
+    let mut prev: Option<Boundary> = None;
+    for i in 0..kernels {
+        let last = i + 1 == kernels;
+        let prefix = if kernels == 1 {
+            String::new()
+        } else {
+            format!("k{i}:")
+        };
+        let appended = graph
+            .append_offset(&kernel.graph, &prefix, |task| {
+                if let Some(boundary) = &prev {
+                    if mode == PipelineMode::BackToBack || !canonical {
+                        if task.dependencies.is_empty() {
+                            return AppendAction::Keep {
+                                extra_deps: boundary.terminals.clone(),
+                            };
+                        }
+                    } else if is_input_load(task) {
+                        // The chained input: forwarded on-chip, or loaded
+                        // after the producing kernel's store, or (for
+                        // non-canonical strategies) barriered.
+                        let tower = tower_index(&task.label, "load in[");
+                        let producers = tower
+                            .and_then(|t| boundary.forward.get(&t))
+                            .unwrap_or(&boundary.terminals)
+                            .clone();
+                        return if forwarding {
+                            AppendAction::Splice {
+                                extra_deps: producers,
+                            }
+                        } else {
+                            AppendAction::Keep {
+                                extra_deps: producers,
+                            }
+                        };
+                    }
+                }
+                if forwarding && !last && forwarded_store_tower(task).is_some() {
+                    // The chained polynomial never round-trips through DRAM:
+                    // elide its store, consumers chain on its producer.
+                    return AppendAction::Splice {
+                        extra_deps: Vec::new(),
+                    };
+                }
+                AppendAction::keep()
+            })
+            .map_err(CiflowError::Graph)?;
+
+        let terminals: Vec<TaskId> = {
+            let mut ids: Vec<TaskId> = kernel_terminals
+                .iter()
+                .flat_map(|&old| appended.resolve(old).iter().copied())
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids
+        };
+        let forward = forward_stores
+            .iter()
+            .map(|(&tower, &old)| (tower, appended.resolve(old).to_vec()))
+            .collect();
+        prev = Some(Boundary { terminals, forward });
+    }
+
+    let (kernel_loaded, kernel_stored) = kernel.graph.total_bytes();
+    let (loaded, stored) = graph.total_bytes();
+    let forwarded_bytes = kernels as u64 * (kernel_loaded + kernel_stored) - (loaded + stored);
+    // The pipeline's peak residency equals the per-kernel peak: the forwarded
+    // polynomial reuses space both adjacent kernels already account for (see
+    // the forwarding-eligibility comment above), so it never pushes the
+    // pipeline past the capacity the kernel schedule was generated against.
+    let peak_on_chip_bytes = kernel.peak_on_chip_bytes;
+    Ok(WorkloadSchedule {
+        schedule: Schedule {
+            strategy: kernel.strategy.clone(),
+            graph,
+            peak_on_chip_bytes,
+            spill_bytes: kernels as u64 * kernel.spill_bytes,
+        },
+        kernels,
+        mode,
+        forwarded_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::Dataflow;
+    use rpu::{EvkPolicy, RpuConfig, RpuEngine};
+
+    fn config(evk_policy: EvkPolicy) -> ScheduleConfig {
+        ScheduleConfig {
+            data_memory_bytes: 32 * rpu::MIB,
+            evk_policy,
+        }
+    }
+
+    fn build(
+        benchmark: HksBenchmark,
+        dataflow: Dataflow,
+        evk_policy: EvkPolicy,
+        count: usize,
+        mode: PipelineMode,
+    ) -> WorkloadSchedule {
+        build_workload(
+            &Workload::rotation_batch(benchmark, count),
+            dataflow.strategy(),
+            &config(evk_policy),
+            mode,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn workload_presets_count_their_kernels() {
+        assert_eq!(
+            Workload::rotation_batch(HksBenchmark::ARK, 8).hks_invocations(),
+            8
+        );
+        assert_eq!(
+            Workload::mul_rot_block(HksBenchmark::ARK, 3).hks_invocations(),
+            4
+        );
+        assert_eq!(
+            Workload::bootstrap_key_switch(HksBenchmark::DPRIVE).hks_invocations(),
+            14
+        );
+        let display = Workload::rotation_batch(HksBenchmark::ARK, 8).to_string();
+        assert!(
+            display.contains("ARK") && display.contains('8'),
+            "{display}"
+        );
+    }
+
+    #[test]
+    fn empty_workload_is_rejected() {
+        let err = build_workload(
+            &Workload::new("empty", HksBenchmark::ARK),
+            Dataflow::OutputCentric.strategy(),
+            &config(EvkPolicy::OnChip),
+            PipelineMode::Fused,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CiflowError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn pipelines_conserve_compute_work() {
+        // Fusion rearranges memory traffic, never the modular operations.
+        let shape = HksShape::new(HksBenchmark::ARK);
+        for mode in [PipelineMode::Fused, PipelineMode::BackToBack] {
+            for dataflow in Dataflow::all() {
+                let ws = build(HksBenchmark::ARK, dataflow, EvkPolicy::Streamed, 5, mode);
+                assert_eq!(ws.kernels, 5);
+                assert_eq!(ws.schedule.total_ops(), 5 * shape.total_ops(), "{dataflow}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pipelines_move_no_more_data_than_unfused() {
+        for benchmark in HksBenchmark::all() {
+            for dataflow in Dataflow::all() {
+                let fused = build(
+                    benchmark,
+                    dataflow,
+                    EvkPolicy::Streamed,
+                    4,
+                    PipelineMode::Fused,
+                );
+                let unfused = build(
+                    benchmark,
+                    dataflow,
+                    EvkPolicy::Streamed,
+                    4,
+                    PipelineMode::BackToBack,
+                );
+                assert!(
+                    fused.schedule.dram_bytes() <= unfused.schedule.dram_bytes(),
+                    "{} {dataflow}",
+                    benchmark.name
+                );
+                assert_eq!(unfused.forwarded_bytes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn forwarding_elides_the_boundary_round_trip_when_it_fits() {
+        // ARK's chained polynomial (12 MiB) fits in half the 32 MiB data
+        // memory: each of the 3 interior boundaries of a 4-kernel pipeline
+        // saves one store plus one load of the polynomial.
+        let shape = HksShape::new(HksBenchmark::ARK);
+        let fused = build(
+            HksBenchmark::ARK,
+            Dataflow::OutputCentric,
+            EvkPolicy::OnChip,
+            4,
+            PipelineMode::Fused,
+        );
+        assert_eq!(fused.forwarded_bytes, 3 * 2 * shape.input_bytes());
+        // BTS3's polynomial (45 MiB) cannot stay resident: nothing forwarded,
+        // but the stitched dependencies still chain the kernels.
+        let bts3 = build(
+            HksBenchmark::BTS3,
+            Dataflow::OutputCentric,
+            EvkPolicy::OnChip,
+            4,
+            PipelineMode::Fused,
+        );
+        assert_eq!(bts3.forwarded_bytes, 0);
+    }
+
+    #[test]
+    fn forwarding_is_refused_when_the_template_reloads_its_input() {
+        // Regression: at a capacity just over 2x the input (forwarding
+        // nominally eligible), the OC generator runs in tight mode and
+        // re-loads evicted `in[t]` towers mid-kernel. Splicing those reloads
+        // would elide traffic the schedule's own tracker requires, so
+        // forwarding must be refused; the fused pipeline still chains through
+        // its boundary stores and moves exactly as much data as back-to-back.
+        let shape = HksShape::new(HksBenchmark::ARK);
+        let tight = ScheduleConfig {
+            data_memory_bytes: 2 * shape.input_bytes() + shape.tower_bytes(),
+            evk_policy: EvkPolicy::OnChip,
+        };
+        let workload = Workload::rotation_batch(HksBenchmark::ARK, 3);
+        let fused = build_workload(
+            &workload,
+            Dataflow::OutputCentric.strategy(),
+            &tight,
+            PipelineMode::Fused,
+        )
+        .unwrap();
+        assert_eq!(fused.forwarded_bytes, 0);
+        let unfused = build_workload(
+            &workload,
+            Dataflow::OutputCentric.strategy(),
+            &tight,
+            PipelineMode::BackToBack,
+        )
+        .unwrap();
+        assert_eq!(fused.schedule.dram_bytes(), unfused.schedule.dram_bytes());
+    }
+
+    #[test]
+    fn pipeline_peak_residency_never_exceeds_the_data_memory() {
+        // Regression: forwarding must not claim more on-chip residency than
+        // the capacity the kernel schedules were generated against.
+        for benchmark in HksBenchmark::all() {
+            for dataflow in Dataflow::all() {
+                for mode in [PipelineMode::Fused, PipelineMode::BackToBack] {
+                    let ws = build(benchmark, dataflow, EvkPolicy::OnChip, 4, mode);
+                    assert!(
+                        ws.schedule.peak_on_chip_bytes <= 32 * rpu::MIB,
+                        "{} {dataflow} {mode}: peak {} MiB exceeds the 32 MiB data memory",
+                        benchmark.name,
+                        ws.schedule.peak_on_chip_bytes / rpu::MIB
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelines_execute_without_deadlock_under_every_strategy() {
+        let engine = RpuEngine::new(RpuConfig::ciflow_baseline().with_bandwidth(12.8));
+        for benchmark in [HksBenchmark::ARK, HksBenchmark::BTS3] {
+            for dataflow in Dataflow::all() {
+                for mode in [PipelineMode::Fused, PipelineMode::BackToBack] {
+                    let ws = build(benchmark, dataflow, EvkPolicy::Streamed, 3, mode);
+                    // The stitched graph must satisfy the same invariants as a
+                    // generated one.
+                    rpu::TaskGraph::from_tasks(ws.schedule.graph.tasks().to_vec()).unwrap();
+                    let result = engine.execute(&ws.schedule.graph).unwrap();
+                    assert!(result.stats.runtime_seconds > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pipeline_beats_back_to_back() {
+        // The acceptance claim: at DDR4-class bandwidth, OC pipelines on ARK
+        // and DPRIVE run faster fused than back-to-back, with a lower
+        // compute-idle fraction.
+        for benchmark in [HksBenchmark::ARK, HksBenchmark::DPRIVE] {
+            for evk_policy in [EvkPolicy::OnChip, EvkPolicy::Streamed] {
+                let engine =
+                    RpuEngine::new(RpuConfig::ciflow_with_policy(evk_policy).with_bandwidth(12.8));
+                let fused = build(
+                    benchmark,
+                    Dataflow::OutputCentric,
+                    evk_policy,
+                    8,
+                    PipelineMode::Fused,
+                );
+                let unfused = build(
+                    benchmark,
+                    Dataflow::OutputCentric,
+                    evk_policy,
+                    8,
+                    PipelineMode::BackToBack,
+                );
+                let fused_stats = engine.execute(&fused.schedule.graph).unwrap().stats;
+                let unfused_stats = engine.execute(&unfused.schedule.graph).unwrap().stats;
+                assert!(
+                    fused_stats.runtime_ms() < unfused_stats.runtime_ms(),
+                    "{} {evk_policy}: fused {:.2} ms vs unfused {:.2} ms",
+                    benchmark.name,
+                    fused_stats.runtime_ms(),
+                    unfused_stats.runtime_ms()
+                );
+                assert!(
+                    fused_stats.compute_idle_fraction() < unfused_stats.compute_idle_fraction(),
+                    "{} {evk_policy}: fused idle {:.3} vs unfused idle {:.3}",
+                    benchmark.name,
+                    fused_stats.compute_idle_fraction(),
+                    unfused_stats.compute_idle_fraction()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_matches_separate_kernel_executions() {
+        // The unfused pipeline is the honest baseline: its runtime must match
+        // the sum of independent per-kernel runs to within rounding.
+        let engine = RpuEngine::new(RpuConfig::ciflow_baseline().with_bandwidth(12.8));
+        let single = Dataflow::OutputCentric
+            .strategy()
+            .build(
+                &HksShape::new(HksBenchmark::ARK),
+                &config(EvkPolicy::OnChip),
+            )
+            .unwrap();
+        let single_ms = engine.execute(&single.graph).unwrap().stats.runtime_ms();
+        let unfused = build(
+            HksBenchmark::ARK,
+            Dataflow::OutputCentric,
+            EvkPolicy::OnChip,
+            6,
+            PipelineMode::BackToBack,
+        );
+        let pipeline_ms = engine
+            .execute(&unfused.schedule.graph)
+            .unwrap()
+            .stats
+            .runtime_ms();
+        let ratio = pipeline_ms / (6.0 * single_ms);
+        assert!(
+            (0.99..=1.01).contains(&ratio),
+            "pipeline {pipeline_ms:.3} ms vs 6 x {single_ms:.3} ms (ratio {ratio:.4})"
+        );
+    }
+}

@@ -1,9 +1,8 @@
 //! The crate-wide error type.
 //!
 //! Each module keeps its precise error enum
-//! ([`ParameterError`](crate::params::ParameterError),
-//! [`ContextError`](crate::context::ContextError),
-//! [`OpsError`](crate::ops::OpsError)); [`CkksError`] unifies them — together
+//! ([`ParameterError`], [`ContextError`],
+//! [`OpsError`]); [`CkksError`] unifies them — together
 //! with the [`hemath`](hemath::HemathError) substrate errors — so callers and
 //! downstream crates (notably `ciflow`) can propagate any CKKS failure with a
 //! single `?`.

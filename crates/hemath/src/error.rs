@@ -1,8 +1,8 @@
 //! The crate-wide error type.
 //!
-//! Each module keeps its precise error enum ([`ModulusError`](crate::modulus::ModulusError),
-//! [`NttError`](crate::ntt::NttError), [`PrimeError`](crate::primes::PrimeError),
-//! [`RnsError`](crate::poly::RnsError)); [`HemathError`] unifies them so
+//! Each module keeps its precise error enum ([`ModulusError`],
+//! [`NttError`], [`PrimeError`],
+//! [`RnsError`]); [`HemathError`] unifies them so
 //! callers that mix modules — and downstream crates like `ckks` and `ciflow`
 //! — can propagate any hemath failure with a single `?`.
 

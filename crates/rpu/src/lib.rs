@@ -51,7 +51,10 @@ pub use engine::{EngineError, RpuEngine, RunResult};
 pub use isa::{B1kInstruction, InstructionClass, KernelCosts};
 pub use memory::{AllocationOutcome, OnChipTracker};
 pub use stats::ExecutionStats;
-pub use task::{ComputeKind, MemoryDirection, Task, TaskGraph, TaskGraphError, TaskId, TaskKind};
+pub use task::{
+    AppendAction, AppendedGraph, ComputeKind, MemoryDirection, Task, TaskGraph, TaskGraphError,
+    TaskId, TaskKind,
+};
 pub use trace::{EngineQueue, ExecutionTrace, TaskRecord};
 
 #[cfg(test)]

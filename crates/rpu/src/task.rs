@@ -153,6 +153,78 @@ impl std::fmt::Display for TaskGraphError {
 
 impl std::error::Error for TaskGraphError {}
 
+/// How [`TaskGraph::append_offset`] treats one task of the appended graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppendAction {
+    /// Append the task, adding `extra_deps` (ids already present in the
+    /// receiving graph) on top of its remapped dependencies.
+    Keep {
+        /// Extra dependencies on tasks of the receiving graph.
+        extra_deps: Vec<TaskId>,
+    },
+    /// Drop the task and splice it out of the dependence structure: any
+    /// appended task that depended on it inherits its remapped dependencies
+    /// plus `extra_deps` instead. Used by graph fusion to elide memory
+    /// round-trips (e.g. a store that a later kernel's load would have
+    /// re-read) while preserving ordering through the producing tasks.
+    Splice {
+        /// Dependencies (in the receiving graph) that stand in for the
+        /// spliced task.
+        extra_deps: Vec<TaskId>,
+    },
+}
+
+impl AppendAction {
+    /// `Keep` with no extra dependencies — the identity append action.
+    pub fn keep() -> Self {
+        AppendAction::Keep {
+            extra_deps: Vec::new(),
+        }
+    }
+
+    fn extra_deps(&self) -> &[TaskId] {
+        match self {
+            AppendAction::Keep { extra_deps } | AppendAction::Splice { extra_deps } => extra_deps,
+        }
+    }
+}
+
+/// What one task of an appended graph became in the receiving graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum AppendMapping {
+    /// The task was appended under this id.
+    Task(TaskId),
+    /// The task was spliced out; these ids stand in for it.
+    Spliced(Vec<TaskId>),
+}
+
+/// The result of one [`TaskGraph::append_offset`] call: the id remapping from
+/// the appended graph into the receiving graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendedGraph {
+    mapping: Vec<AppendMapping>,
+}
+
+impl AppendedGraph {
+    /// The id the appended task `old` received, or `None` if it was spliced
+    /// out.
+    pub fn task_id(&self, old: TaskId) -> Option<TaskId> {
+        match self.mapping.get(old) {
+            Some(AppendMapping::Task(id)) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// The ids in the receiving graph that stand for the appended task `old`:
+    /// its new id if it was kept, or the dependencies spliced in for it.
+    pub fn resolve(&self, old: TaskId) -> &[TaskId] {
+        match &self.mapping[old] {
+            AppendMapping::Task(id) => std::slice::from_ref(id),
+            AppendMapping::Spliced(deps) => deps,
+        }
+    }
+}
+
 /// A validated, causally ordered list of tasks.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TaskGraph {
@@ -270,6 +342,98 @@ impl TaskGraph {
         (loaded, stored)
     }
 
+    /// Ids of the tasks no other task depends on — the graph's sinks. When a
+    /// fusion layer chains task graphs back-to-back, these are the tasks a
+    /// barrier must wait on.
+    pub fn terminal_tasks(&self) -> Vec<TaskId> {
+        let mut depended_on = vec![false; self.tasks.len()];
+        for task in &self.tasks {
+            for &dep in &task.dependencies {
+                depended_on[dep] = true;
+            }
+        }
+        self.tasks
+            .iter()
+            .filter(|t| !depended_on[t.id])
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Appends `other`'s tasks to this graph, remapping ids and dependencies.
+    ///
+    /// `action` is consulted once per appended task, in program order:
+    /// [`AppendAction::Keep`] appends it (with optional extra dependencies on
+    /// tasks already in `self`), [`AppendAction::Splice`] drops it and makes
+    /// its consumers inherit its remapped dependencies plus the splice's
+    /// `extra_deps`. `label_prefix` is prepended to every appended task's
+    /// label (pass `""` to keep labels unchanged).
+    ///
+    /// This is the graph-fusion primitive behind multi-kernel workload
+    /// pipelines: per-kernel graphs are appended one after another, with
+    /// cross-kernel dependencies expressed through `extra_deps` (so the
+    /// decoupled memory queue can prefetch the next kernel's data under the
+    /// current kernel's compute) and redundant boundary transfers elided
+    /// through `Splice`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskGraphError::ForwardDependency`] if any `extra_deps` id
+    /// does not refer to a task already present in `self` before the call.
+    pub fn append_offset<F>(
+        &mut self,
+        other: &TaskGraph,
+        label_prefix: &str,
+        mut action: F,
+    ) -> Result<AppendedGraph, TaskGraphError>
+    where
+        F: FnMut(&Task) -> AppendAction,
+    {
+        let offset = self.tasks.len();
+        let mut mapping: Vec<AppendMapping> = Vec::with_capacity(other.tasks.len());
+        for task in &other.tasks {
+            let act = action(task);
+            for &dep in act.extra_deps() {
+                if dep >= offset {
+                    // Report the appended task's id in *its* graph: after a
+                    // splice the receiving graph's next slot would mislead.
+                    return Err(TaskGraphError::ForwardDependency {
+                        task: task.id,
+                        dependency: dep,
+                    });
+                }
+            }
+            // Remap the task's own dependencies, splicing through dropped
+            // tasks, then add the action's extra dependencies.
+            let mut deps: Vec<TaskId> = Vec::with_capacity(task.dependencies.len());
+            for &old_dep in &task.dependencies {
+                match &mapping[old_dep] {
+                    AppendMapping::Task(id) => deps.push(*id),
+                    AppendMapping::Spliced(stand_ins) => deps.extend(stand_ins.iter().copied()),
+                }
+            }
+            deps.extend(act.extra_deps().iter().copied());
+            deps.sort_unstable();
+            deps.dedup();
+            match act {
+                AppendAction::Keep { .. } => {
+                    let id = self.tasks.len();
+                    self.tasks.push(Task {
+                        id,
+                        kind: task.kind,
+                        dependencies: deps,
+                        label: format!("{label_prefix}{}", task.label),
+                        stage: task.stage.clone(),
+                    });
+                    mapping.push(AppendMapping::Task(id));
+                }
+                AppendAction::Splice { .. } => {
+                    mapping.push(AppendMapping::Spliced(deps));
+                }
+            }
+        }
+        Ok(AppendedGraph { mapping })
+    }
+
     /// Arithmetic intensity of the whole graph in modular operations per byte
     /// of DRAM traffic (the metric of Table II). Returns `f64::INFINITY` when
     /// there is no DRAM traffic.
@@ -377,5 +541,93 @@ mod tests {
         let g = sample_graph();
         let rebuilt = TaskGraph::from_tasks(g.tasks().to_vec()).unwrap();
         assert_eq!(g, rebuilt);
+    }
+
+    #[test]
+    fn terminal_tasks_are_the_sinks() {
+        let g = sample_graph();
+        // Only the final accumulate task is not depended on.
+        assert_eq!(g.terminal_tasks(), vec![3]);
+        assert!(TaskGraph::new().terminal_tasks().is_empty());
+    }
+
+    #[test]
+    fn append_offset_remaps_ids_and_dependencies() {
+        let mut g = sample_graph();
+        let sub = sample_graph();
+        let appended = g
+            .append_offset(&sub, "k2:", |_| AppendAction::keep())
+            .unwrap();
+        assert_eq!(g.len(), 8);
+        assert_eq!(appended.task_id(0), Some(4));
+        assert_eq!(appended.resolve(3), &[7]);
+        // Dependencies point at the remapped ids, labels carry the prefix.
+        assert_eq!(g.tasks()[5].dependencies, vec![4]);
+        assert_eq!(g.tasks()[5].label, "k2:intt x");
+        // Totals double, validation still passes.
+        assert_eq!(g.total_ops(), 2 * sample_graph().total_ops());
+        assert!(TaskGraph::from_tasks(g.tasks().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn append_offset_adds_cross_graph_dependencies() {
+        let mut g = sample_graph();
+        let barrier = g.terminal_tasks();
+        let sub = sample_graph();
+        let appended = g
+            .append_offset(&sub, "", |t| {
+                if t.dependencies.is_empty() {
+                    AppendAction::Keep {
+                        extra_deps: barrier.clone(),
+                    }
+                } else {
+                    AppendAction::keep()
+                }
+            })
+            .unwrap();
+        // The appended root (old id 0) now depends on the first graph's sink.
+        let root = appended.task_id(0).unwrap();
+        assert_eq!(g.tasks()[root].dependencies, vec![3]);
+        assert!(TaskGraph::from_tasks(g.tasks().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn append_offset_splices_tasks_out_of_the_dependence_structure() {
+        let mut g = sample_graph();
+        let sub = sample_graph();
+        // Drop the sub-graph's initial load; its consumer (the INTT) inherits
+        // a dependency on the first graph's sink instead.
+        let appended = g
+            .append_offset(&sub, "", |t| {
+                if t.label == "load x" {
+                    AppendAction::Splice {
+                        extra_deps: vec![3],
+                    }
+                } else {
+                    AppendAction::keep()
+                }
+            })
+            .unwrap();
+        assert_eq!(g.len(), 7);
+        assert_eq!(appended.task_id(0), None);
+        assert_eq!(appended.resolve(0), &[3]);
+        let intt = appended.task_id(1).unwrap();
+        assert_eq!(g.tasks()[intt].dependencies, vec![3]);
+        // The spliced load's bytes are gone from the totals.
+        assert_eq!(g.total_bytes(), (1024, 2 * 1024));
+        assert!(TaskGraph::from_tasks(g.tasks().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn append_offset_rejects_dangling_extra_deps() {
+        let mut g = sample_graph();
+        let sub = sample_graph();
+        let result = g.append_offset(&sub, "", |_| AppendAction::Keep {
+            extra_deps: vec![99],
+        });
+        assert!(matches!(
+            result,
+            Err(TaskGraphError::ForwardDependency { dependency: 99, .. })
+        ));
     }
 }

@@ -1,0 +1,70 @@
+//! Multi-kernel workload pipelines: chaining many hybrid key switches —
+//! a rotation batch, the bootstrapping key-switch backbone — and fusing
+//! their task graphs so the memory queue prefetches the next kernel's data
+//! under the current kernel's compute (and, when the chained polynomial
+//! fits on-chip, skips its DRAM round-trip entirely).
+//!
+//! Run with: `cargo run -p ciflow --release --example workload_pipeline`
+
+use ciflow::api::{Job, Session};
+use ciflow::workload::{PipelineMode, Workload};
+use ciflow::{Dataflow, HksBenchmark};
+use rpu::RpuConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // DDR4-class bandwidth: exactly the regime where the dataflow choice —
+    // and now the pipeline fusion — decides the runtime.
+    let session = Session::new().with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(12.8));
+
+    let workloads = [
+        Workload::rotation_batch(HksBenchmark::ARK, 8),
+        Workload::mul_rot_block(HksBenchmark::DPRIVE, 3),
+        Workload::bootstrap_key_switch(HksBenchmark::ARK),
+    ];
+
+    // One parallel batch: every workload under every dataflow, fused and
+    // back-to-back.
+    let mut batch = session.clone();
+    for workload in &workloads {
+        for dataflow in Dataflow::all() {
+            for mode in [PipelineMode::BackToBack, PipelineMode::Fused] {
+                batch = batch.push(Job::workload(workload.clone(), dataflow, mode));
+            }
+        }
+    }
+    let outcome = batch.run();
+
+    println!(
+        "{:22} {:3} {:>4} {:>12} {:>10} {:>9} {:>11}",
+        "workload", "df", "hks", "unfused ms", "fused ms", "speedup", "idle u->f"
+    );
+    let mut i = 0;
+    for workload in &workloads {
+        for dataflow in Dataflow::all() {
+            let unfused = outcome.results[i].outcome.as_ref().map_err(|e| e.clone())?;
+            let fused = outcome.results[i + 1]
+                .outcome
+                .as_ref()
+                .map_err(|e| e.clone())?;
+            i += 2;
+            println!(
+                "{:22} {:3} {:>4} {:>12.2} {:>10.2} {:>8.2}x {:>4.0}%->{:.0}%",
+                workload.name,
+                dataflow.short_name(),
+                fused.kernels,
+                unfused.runtime_ms(),
+                fused.runtime_ms(),
+                unfused.runtime_ms() / fused.runtime_ms(),
+                100.0 * unfused.stats.compute_idle_fraction(),
+                100.0 * fused.stats.compute_idle_fraction(),
+            );
+            assert!(
+                fused.runtime_ms() <= unfused.runtime_ms() * 1.0001,
+                "fusion must never slow a pipeline down"
+            );
+        }
+    }
+    println!("\n(12.8 GB/s, evks on-chip; fusion prefetches kernel i+1 under kernel i's compute");
+    println!(" and forwards the chained polynomial on-chip when it fits in the data memory)");
+    Ok(())
+}

@@ -259,7 +259,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec`](fn@vec).
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,

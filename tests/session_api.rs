@@ -73,6 +73,54 @@ impl ScheduleStrategy for NoReuse {
     }
 }
 
+/// A strategy whose generator is buggy on purpose: it hands back a task list
+/// with a cross-queue ordering cycle, the kind of schedule the engine would
+/// reject as a deadlock. `TaskGraph::from_tasks` refuses to construct it, and
+/// the strategy propagates that as a typed error.
+struct Deadlocking;
+
+impl ScheduleStrategy for Deadlocking {
+    fn name(&self) -> &str {
+        "deadlocking"
+    }
+    fn short_name(&self) -> &str {
+        "DL"
+    }
+    fn build(&self, _shape: &HksShape, _config: &ScheduleConfig) -> Result<Schedule, CiflowError> {
+        // Compute task 0 depends on memory task 1: a forward dependency that
+        // would wedge the in-order queues against each other.
+        let tasks = vec![
+            rpu::Task {
+                id: 0,
+                kind: rpu::TaskKind::Compute {
+                    kind: ComputeKind::Ntt,
+                    ops: 1,
+                },
+                dependencies: vec![1],
+                label: "stuck compute".into(),
+                stage: "ModUp-P1".into(),
+            },
+            rpu::Task {
+                id: 1,
+                kind: rpu::TaskKind::Memory {
+                    direction: MemoryDirection::Load,
+                    bytes: 1,
+                },
+                dependencies: vec![0],
+                label: "stuck load".into(),
+                stage: "ModUp-P1".into(),
+            },
+        ];
+        let graph = TaskGraph::from_tasks(tasks)?;
+        Ok(Schedule {
+            strategy: self.short_name().to_string(),
+            graph,
+            peak_on_chip_bytes: 0,
+            spill_bytes: 0,
+        })
+    }
+}
+
 /// A strategy that always fails, for error-path coverage.
 struct Refusing;
 
@@ -221,6 +269,51 @@ fn builtin_strategies_agree_on_functional_work_per_benchmark() {
             "{benchmark}: stages must cover all ops"
         );
     }
+}
+
+#[test]
+fn deadlocking_strategy_fails_its_own_jobs_without_poisoning_siblings() {
+    // Engine-error-path coverage: a strategy whose generated schedule cannot
+    // execute reports a per-job Err; sibling jobs in the same parallel batch
+    // are untouched.
+    let outcome = Session::new()
+        .register(Arc::new(Deadlocking))
+        .unwrap()
+        .job(HksBenchmark::ARK, "OC")
+        .job(HksBenchmark::ARK, "DL")
+        .job(HksBenchmark::DPRIVE, "MP")
+        .run();
+    assert_eq!(outcome.len(), 3);
+    assert!(outcome.results[0].outcome.is_ok());
+    assert!(outcome.results[2].outcome.is_ok());
+    let error = outcome.results[1].outcome.as_ref().unwrap_err();
+    assert!(
+        matches!(error, CiflowError::Graph(_)),
+        "expected the invalid schedule to surface as a typed graph error, got {error}"
+    );
+    assert_eq!(outcome.successes().count(), 2);
+    assert_eq!(outcome.failures().count(), 1);
+}
+
+#[test]
+fn empty_bandwidth_sweep_returns_a_well_formed_empty_series() {
+    let series = ciflow::sweep::try_bandwidth_sweep(
+        HksBenchmark::ARK,
+        Dataflow::OutputCentric,
+        &[],
+        EvkPolicy::OnChip,
+        1.0,
+    )
+    .expect("an empty ladder is not an error");
+    assert_eq!(series.benchmark, "ARK");
+    assert_eq!(series.dataflow, "OC");
+    assert!(series.points.is_empty());
+    assert!(!series.evk_streamed);
+    // The renderer accepts the empty series without panicking.
+    let csv = ciflow::report::render_sweep_csv(std::slice::from_ref(&series));
+    assert_eq!(csv.lines().count(), 1, "header only: {csv:?}");
+    let ascii = ciflow::report::render_sweep_ascii(&[series], 10, 4);
+    assert!(ascii.contains("no data"));
 }
 
 #[test]

@@ -1,0 +1,182 @@
+//! Integration tests of the `ciflow::workload` pipeline subsystem: fused
+//! multi-kernel task graphs through the public session and sweep APIs,
+//! including the headline acceptance claim that fused pipelines beat
+//! back-to-back execution at DDR4-class bandwidth.
+
+use ciflow::api::{Job, Session};
+use ciflow::benchmark::HksBenchmark;
+use ciflow::dataflow::Dataflow;
+use ciflow::sweep::try_workload_sweep;
+use ciflow::workload::{build_workload, KernelStep, PipelineMode, Workload};
+use ciflow::HksShape;
+use rpu::{EvkPolicy, RpuConfig};
+
+/// DDR4-class off-chip bandwidths (GB/s).
+const DDR4_BANDWIDTHS: [f64; 2] = [8.0, 12.8];
+
+#[test]
+fn fused_pipelines_beat_back_to_back_for_oc_at_ddr4_bandwidth() {
+    // The acceptance criterion: for OC on ARK and DPRIVE at DDR4-class
+    // bandwidth, the fused pipeline has lower runtime AND lower compute-idle
+    // fraction than running the kernels back-to-back unfused.
+    for benchmark in [HksBenchmark::ARK, HksBenchmark::DPRIVE] {
+        for &bandwidth in &DDR4_BANDWIDTHS {
+            let session =
+                Session::new().with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(bandwidth));
+            let workload = Workload::rotation_batch(benchmark, 8);
+            let fused = session
+                .run_workload(
+                    workload.clone(),
+                    Dataflow::OutputCentric,
+                    PipelineMode::Fused,
+                )
+                .unwrap();
+            let unfused = session
+                .run_workload(workload, Dataflow::OutputCentric, PipelineMode::BackToBack)
+                .unwrap();
+            assert!(
+                fused.runtime_ms() < unfused.runtime_ms(),
+                "{} @ {bandwidth} GB/s: fused {:.2} ms vs unfused {:.2} ms",
+                benchmark.name,
+                fused.runtime_ms(),
+                unfused.runtime_ms()
+            );
+            assert!(
+                fused.stats.compute_idle_fraction() < unfused.stats.compute_idle_fraction(),
+                "{} @ {bandwidth} GB/s: fused idle {:.3} vs unfused idle {:.3}",
+                benchmark.name,
+                fused.stats.compute_idle_fraction(),
+                unfused.stats.compute_idle_fraction()
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelines_run_under_every_builtin_strategy_in_one_batch() {
+    // Workloads are ordinary jobs: one parallel batch covering every built-in
+    // strategy on the bootstrap preset, with per-job results.
+    let workload = Workload::bootstrap_key_switch(HksBenchmark::ARK);
+    let kernels = workload.hks_invocations();
+    let mut session = Session::new().with_rpu(RpuConfig::ciflow_streaming().with_bandwidth(25.6));
+    for dataflow in Dataflow::all() {
+        for mode in [PipelineMode::Fused, PipelineMode::BackToBack] {
+            session = session.push(Job::workload(workload.clone(), dataflow, mode));
+        }
+    }
+    let outcome = session.run();
+    assert_eq!(outcome.len(), 6);
+    assert!(
+        outcome.all_ok(),
+        "failures: {:?}",
+        outcome.failures().count()
+    );
+    let shape = HksShape::new(HksBenchmark::ARK);
+    for output in outcome.successes() {
+        assert_eq!(output.kernels, kernels);
+        assert_eq!(output.stats.total_ops, kernels as u64 * shape.total_ops());
+    }
+    // Within each strategy, fused never loses to back-to-back.
+    let outputs: Vec<_> = outcome.successes().collect();
+    for pair in outputs.chunks(2) {
+        assert!(pair[0].runtime_ms() <= pair[1].runtime_ms() * 1.0001);
+    }
+}
+
+#[test]
+fn workload_sweep_runs_the_figure4_ladder() {
+    let workload = Workload::new("mixed", HksBenchmark::DPRIVE)
+        .step(KernelStep::Relinearize)
+        .step(KernelStep::RotationBatch { count: 3 })
+        .step(KernelStep::KeySwitch);
+    assert_eq!(workload.hks_invocations(), 5);
+    let series = try_workload_sweep(
+        &workload,
+        Dataflow::OutputCentric,
+        &ciflow::sweep::BANDWIDTH_LADDER,
+        EvkPolicy::Streamed,
+        1.0,
+        PipelineMode::Fused,
+    )
+    .unwrap();
+    assert_eq!(series.points.len(), ciflow::sweep::BANDWIDTH_LADDER.len());
+    assert!(series.evk_streamed);
+    for w in series.points.windows(2) {
+        assert!(
+            w[1].runtime_ms <= w[0].runtime_ms * 1.0001,
+            "workload runtime must not increase with bandwidth"
+        );
+    }
+}
+
+#[test]
+fn custom_strategies_pipeline_through_the_conservative_barrier() {
+    // A strategy that does not emit the canonical buffer labels still chains
+    // correctly: fusion degrades to a barrier instead of misfusing.
+    use ciflow::api::ScheduleStrategy;
+    use ciflow::error::CiflowError;
+    use ciflow::schedule::{Schedule, ScheduleConfig};
+    use rpu::{ComputeKind, MemoryDirection, TaskGraph};
+
+    struct Opaque;
+    impl ScheduleStrategy for Opaque {
+        fn name(&self) -> &str {
+            "opaque"
+        }
+        fn short_name(&self) -> &str {
+            "OP"
+        }
+        fn build(
+            &self,
+            shape: &HksShape,
+            _config: &ScheduleConfig,
+        ) -> Result<Schedule, CiflowError> {
+            let mut graph = TaskGraph::new();
+            let load = graph.push_memory(
+                MemoryDirection::Load,
+                shape.input_bytes(),
+                vec![],
+                "opaque read",
+                "ModUp-P1",
+            );
+            let compute = graph.push_compute(
+                ComputeKind::Ntt,
+                shape.total_ops(),
+                vec![load],
+                "go",
+                "ModUp-P4",
+            );
+            graph.push_memory(
+                MemoryDirection::Store,
+                shape.output_bytes(),
+                vec![compute],
+                "opaque write",
+                "ModDown-P4",
+            );
+            Ok(Schedule {
+                strategy: self.short_name().to_string(),
+                graph,
+                peak_on_chip_bytes: 0,
+                spill_bytes: 0,
+            })
+        }
+    }
+
+    let ws = build_workload(
+        &Workload::rotation_batch(HksBenchmark::ARK, 3),
+        &Opaque,
+        &ScheduleConfig::default(),
+        PipelineMode::Fused,
+    )
+    .unwrap();
+    assert_eq!(ws.kernels, 3);
+    assert_eq!(ws.forwarded_bytes, 0, "nothing to forward without labels");
+    // 3 kernels x 3 tasks, all kept, and the graph executes.
+    assert_eq!(ws.schedule.graph.len(), 9);
+    let engine = rpu::RpuEngine::new(RpuConfig::ciflow_baseline());
+    engine.execute(&ws.schedule.graph).unwrap();
+    // The second kernel's load waits for the first kernel's sink.
+    let k1_load = &ws.schedule.graph.tasks()[3];
+    assert_eq!(k1_load.label, "k1:opaque read");
+    assert_eq!(k1_load.dependencies, vec![2]);
+}
