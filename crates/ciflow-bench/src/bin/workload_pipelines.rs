@@ -8,16 +8,26 @@
 //! ARK, DPRIVE and BTS3 with evks on-chip, plus an evk-streaming section for
 //! ARK where the fusion layer's cross-kernel prefetch moves the next
 //! kernel's key material under the current kernel's compute.
+//!
+//! The final section sweeps the memory-channel count (1/2/4/8 pseudo-channels
+//! sharing the same aggregate bandwidth): channel-aware placement pins evk
+//! towers away from limb traffic, so a fused pipeline's cross-kernel evk
+//! prefetch bypasses the dependency-blocked writebacks at the head of the
+//! single queue, and the fused compute-idle fraction falls monotonically as
+//! channels grow.
 
 use ciflow::api::{Job, JobOutput, Session};
 use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
 use ciflow::report::markdown_table;
-use ciflow::sweep::BANDWIDTH_LADDER;
+use ciflow::sweep::{try_channel_sweep, BANDWIDTH_LADDER, CHANNEL_LADDER};
 use ciflow::workload::{PipelineMode, Workload};
 use rpu::{EvkPolicy, RpuConfig};
 
 const ROTATIONS: usize = 8;
+
+/// Bandwidths reported in the channel-count sweep: DDR4 through HBM2-class.
+const CHANNEL_SWEEP_BANDWIDTHS: [f64; 4] = [12.8, 25.6, 64.0, 128.0];
 
 /// Runs the workload for one benchmark under every (strategy, bandwidth,
 /// mode) combination as a single parallel batch and returns the outputs in
@@ -81,6 +91,51 @@ fn render(benchmark: HksBenchmark, evk_policy: EvkPolicy) {
     }
 }
 
+/// Renders the memory-channel-count sweep for one benchmark: the fused
+/// 8-rotation pipeline with streamed evks, at each bandwidth, split over a
+/// growing number of pseudo-channels (the aggregate bandwidth never
+/// changes). One row per bandwidth, one fused-idle column per channel count.
+fn render_channel_sweep(benchmark: HksBenchmark) {
+    ciflow_bench::section(&format!(
+        "Memory-channel sweep: {} x{ROTATIONS} rotations, OC fused, evks streamed \
+         (aggregate bandwidth fixed per row)",
+        benchmark.name
+    ));
+    let workload = Workload::rotation_batch(benchmark, ROTATIONS);
+    let first = CHANNEL_LADDER.first().expect("ladder is non-empty");
+    let last = CHANNEL_LADDER.last().expect("ladder is non-empty");
+    let mut headers = vec![
+        "BW (GB/s)".to_string(),
+        format!("{first}-ch (ms)"),
+        format!("{last}-ch (ms)"),
+    ];
+    headers.extend(CHANNEL_LADDER.iter().map(|c| format!("idle {c}ch")));
+    let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for &bandwidth in CHANNEL_SWEEP_BANDWIDTHS.iter() {
+        let points = try_channel_sweep(
+            &workload,
+            Dataflow::OutputCentric,
+            bandwidth,
+            EvkPolicy::Streamed,
+            &CHANNEL_LADDER,
+            PipelineMode::Fused,
+        )
+        .expect("built-in pipelines are infallible");
+        let mut row = vec![format!("{bandwidth}")];
+        row.push(format!("{:.2}", points[0].runtime_ms));
+        row.push(format!(
+            "{:.2}",
+            points.last().expect("ladder is non-empty").runtime_ms
+        ));
+        for point in &points {
+            row.push(format!("{:.1}%", 100.0 * point.compute_idle));
+        }
+        rows.push(row);
+    }
+    print!("{}", markdown_table(&headers, &rows));
+}
+
 fn main() {
     for benchmark in [HksBenchmark::ARK, HksBenchmark::DPRIVE, HksBenchmark::BTS3] {
         render(benchmark, EvkPolicy::OnChip);
@@ -89,4 +144,8 @@ fn main() {
     // towers under the current kernel's compute — the overlap the fusion
     // layer exists for.
     render(HksBenchmark::ARK, EvkPolicy::Streamed);
+    // Splitting the memory queue into pseudo-channels lets that prefetch
+    // bypass the head-of-line writebacks entirely.
+    render_channel_sweep(HksBenchmark::ARK);
+    render_channel_sweep(HksBenchmark::DPRIVE);
 }

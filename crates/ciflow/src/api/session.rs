@@ -392,7 +392,11 @@ impl Session {
                 (strategy.build(&shape, &schedule_config)?, 1)
             }
         };
-        let engine = RpuEngine::new(rpu.clone());
+        // Channel-aware placement: the schedule's label-encoded channel
+        // hints become the engine's buffer-to-channel map (a no-op for the
+        // default single-channel configuration).
+        let engine = RpuEngine::new(rpu.clone())
+            .with_channel_map(schedule.channel_map(rpu.memory_channel_count()));
         let result = engine.execute(&schedule.graph)?;
         Ok(JobOutput {
             benchmark: job.effective_benchmark(),

@@ -150,7 +150,7 @@ mod tests {
 
         let engine: CiflowError = rpu::EngineError::Deadlock {
             compute_head: Some(3),
-            memory_head: None,
+            memory_heads: vec![(0, 7)],
         }
         .into();
         assert!(std::error::Error::source(&engine).is_some());

@@ -94,6 +94,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+// Compile the README's quick-start examples as doctests so they cannot
+// drift from the API (the session example and the workload example both
+// execute under `cargo test`).
+#[doc = include_str!("../../../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
+
 pub mod analysis;
 pub mod api;
 pub mod benchmark;

@@ -103,6 +103,58 @@ impl Schedule {
         map
     }
 
+    /// Derives the channel-aware buffer placement for this schedule: the
+    /// channel hints the generators encode in their canonical buffer labels,
+    /// turned into a concrete [`ChannelMap`](rpu::ChannelMap) for
+    /// `num_channels` memory pseudo-channels.
+    ///
+    /// Evk towers are pinned to their own contiguous channel group, sized
+    /// proportionally to the share of DRAM traffic they move (at least one
+    /// channel, never all of them), and every other buffer — input limbs,
+    /// outputs, spills — is hashed over the remaining channels. This keeps
+    /// the channels load-balanced under both evk policies while guaranteeing
+    /// that cross-kernel evk prefetch in a fused pipeline never queues
+    /// behind the current kernel's limb traffic. With one channel (or no
+    /// evk traffic to segregate) it degenerates to the plain label hash, so
+    /// `N = 1` engines behave exactly like the historical single queue.
+    ///
+    /// ```
+    /// use ciflow::{build_schedule, Dataflow, HksBenchmark, HksShape, ScheduleConfig};
+    /// use rpu::EvkPolicy;
+    ///
+    /// let config = ScheduleConfig::with_data_memory(32 * rpu::MIB, EvkPolicy::Streamed);
+    /// let schedule = build_schedule(Dataflow::OutputCentric, &HksShape::new(HksBenchmark::ARK), &config);
+    /// let map = schedule.channel_map(4);
+    /// // Evk towers and input limbs land on disjoint channels.
+    /// assert_ne!(map.channel_for("load evk[d0][t1]"), map.channel_for("load in[1]"));
+    /// ```
+    pub fn channel_map(&self, num_channels: usize) -> rpu::ChannelMap {
+        let n = num_channels.max(1);
+        if n == 1 {
+            // The common single-channel path: skip the traffic scan.
+            return rpu::ChannelMap::hashed(1);
+        }
+        let mut evk_bytes = 0u64;
+        let mut total_bytes = 0u64;
+        for task in self.graph.tasks() {
+            if task.is_memory() {
+                total_bytes += task.bytes();
+                if task.label.contains("evk") {
+                    evk_bytes += task.bytes();
+                }
+            }
+        }
+        if evk_bytes == 0 || evk_bytes == total_bytes {
+            return rpu::ChannelMap::hashed(n);
+        }
+        let share = evk_bytes as f64 / total_bytes as f64;
+        let evk_channels = ((n as f64 * share).round() as usize).clamp(1, n - 1);
+        let split = n - evk_channels;
+        rpu::ChannelMap::hashed(n)
+            .with_pin("evk", split..n)
+            .with_pin("", 0..split)
+    }
+
     /// DRAM traffic broken down by buffer kind (evk, input, spill, output),
     /// in bytes.
     pub fn traffic_by_kind(&self) -> std::collections::BTreeMap<&'static str, u64> {
@@ -542,6 +594,39 @@ mod tests {
             let expected = shape.input_bytes() + shape.output_bytes() + shape.evk_bytes();
             assert_eq!(schedule.dram_bytes(), expected, "{dataflow}");
         }
+    }
+
+    #[test]
+    fn channel_map_segregates_evk_traffic_proportionally() {
+        let shape = HksShape::new(HksBenchmark::ARK);
+        let streamed = build_schedule(
+            Dataflow::OutputCentric,
+            &shape,
+            &ScheduleConfig {
+                data_memory_bytes: 32 * rpu::MIB,
+                evk_policy: EvkPolicy::Streamed,
+            },
+        );
+        let map = streamed.channel_map(8);
+        // Every evk tower lands in one contiguous group, all limb traffic in
+        // the other, and both groups are non-empty.
+        let evk_channels: std::collections::BTreeSet<usize> = (0..shape.dnum())
+            .flat_map(|d| (0..4).map(move |t| (d, t)))
+            .map(|(d, t)| map.channel_for(&format!("load evk[d{d}][t{t}]")))
+            .collect();
+        let data_channels: std::collections::BTreeSet<usize> = (0..shape.ell())
+            .map(|t| map.channel_for(&format!("load in[{t}]")))
+            .collect();
+        assert!(evk_channels.is_disjoint(&data_channels));
+        assert!(!evk_channels.is_empty() && !data_channels.is_empty());
+        // Spill/limb/output traffic shares the data group — fused kernel
+        // prefixes do not change placement.
+        assert!(data_channels.contains(&map.channel_for("k3:load in[0]")));
+
+        // One channel, or no evk traffic to segregate: plain hashing.
+        assert_eq!(streamed.channel_map(1), rpu::ChannelMap::hashed(1));
+        let on_chip = build_schedule(Dataflow::OutputCentric, &shape, &ScheduleConfig::default());
+        assert_eq!(on_chip.channel_map(8), rpu::ChannelMap::hashed(8));
     }
 
     #[test]

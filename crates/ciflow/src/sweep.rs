@@ -27,6 +27,11 @@ pub const BANDWIDTH_LADDER: [f64; 10] = [
 /// The MODOPS multipliers swept in Figure 8.
 pub const MODOPS_LADDER: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 16.0];
 
+/// The memory-channel counts swept by the multi-channel ablation. `1`
+/// reproduces the classic single-queue memory model; real HBM parts expose
+/// 8–32 pseudo-channels.
+pub const CHANNEL_LADDER: [usize; 4] = [1, 2, 4, 8];
+
 /// The reference bandwidth of the paper's baseline (MP, evks on-chip).
 pub const BASELINE_BANDWIDTH_GBPS: f64 = 64.0;
 
@@ -210,6 +215,57 @@ pub fn try_workload_sweep_in(
         modops,
         |spec| Job::workload(workload.clone(), spec, mode),
     )
+}
+
+/// One point of a memory-channel-count sweep: the same workload pipeline on
+/// the same aggregate bandwidth, split over a growing number of in-order
+/// pseudo-channels.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ChannelSweepPoint {
+    /// Number of memory channels the aggregate bandwidth was split over.
+    pub channels: usize,
+    /// Pipeline runtime in milliseconds.
+    pub runtime_ms: f64,
+    /// Compute-idle fraction of the run.
+    pub compute_idle: f64,
+    /// Channel load imbalance (busiest channel / mean; 1.0 = perfectly
+    /// balanced).
+    pub memory_imbalance: f64,
+}
+
+/// Runs a [`Workload`] pipeline across a ladder of memory-channel counts at
+/// one fixed aggregate bandwidth, as one parallel batch. The aggregate
+/// bandwidth never changes — each point only re-partitions it over more
+/// in-order pseudo-channels — so any runtime/idle improvement is pure
+/// head-of-line-blocking relief from channel-aware data placement.
+///
+/// # Errors
+///
+/// Returns the first failing point's [`CiflowError`].
+pub fn try_channel_sweep(
+    workload: &Workload,
+    strategy: impl Into<StrategySpec>,
+    bandwidth_gbps: f64,
+    evk_policy: EvkPolicy,
+    channel_counts: &[usize],
+    mode: PipelineMode,
+) -> Result<Vec<ChannelSweepPoint>, CiflowError> {
+    let spec: StrategySpec = strategy.into();
+    let session = Session::new().jobs(channel_counts.iter().map(|&channels| {
+        Job::workload(workload.clone(), spec.clone(), mode)
+            .with_rpu(sweep_rpu(evk_policy, bandwidth_gbps, 1.0).with_memory_channels(channels))
+    }));
+    let outputs = session.run().into_outputs()?;
+    Ok(channel_counts
+        .iter()
+        .zip(&outputs)
+        .map(|(&channels, output)| ChannelSweepPoint {
+            channels,
+            runtime_ms: output.runtime_ms(),
+            compute_idle: output.stats.compute_idle_fraction(),
+            memory_imbalance: output.stats.memory_channel_imbalance(),
+        })
+        .collect())
 }
 
 /// Runs a runtime-vs-bandwidth sweep for a built-in dataflow.

@@ -60,6 +60,13 @@ pub enum KernelStep {
 
 impl KernelStep {
     /// Number of HKS kernel invocations this step expands to.
+    ///
+    /// ```
+    /// use ciflow::KernelStep;
+    /// assert_eq!(KernelStep::KeySwitch.hks_count(), 1);
+    /// assert_eq!(KernelStep::Relinearize.hks_count(), 1);
+    /// assert_eq!(KernelStep::RotationBatch { count: 6 }.hks_count(), 6);
+    /// ```
     pub fn hks_count(&self) -> usize {
         match self {
             KernelStep::KeySwitch | KernelStep::Relinearize => 1,
@@ -101,7 +108,18 @@ pub struct Workload {
 }
 
 impl Workload {
-    /// An empty workload; add steps with [`Workload::step`].
+    /// An empty workload; add steps with [`Workload::step`]. A workload with
+    /// no steps is rejected by [`build_workload`] — every pipeline must
+    /// contain at least one kernel invocation.
+    ///
+    /// ```
+    /// use ciflow::{HksBenchmark, KernelStep, Workload};
+    /// let w = Workload::new("mvp-row", HksBenchmark::ARK)
+    ///     .step(KernelStep::Relinearize)
+    ///     .step(KernelStep::RotationBatch { count: 3 });
+    /// assert_eq!(w.hks_invocations(), 4);
+    /// assert_eq!(w.steps().len(), 2);
+    /// ```
     pub fn new(name: impl Into<String>, benchmark: HksBenchmark) -> Self {
         Self {
             name: name.into(),
@@ -110,7 +128,8 @@ impl Workload {
         }
     }
 
-    /// Appends one step.
+    /// Appends one step (builder style; see [`Workload::new`] for an
+    /// example).
     pub fn step(mut self, step: KernelStep) -> Self {
         self.steps.push(step);
         self
@@ -121,12 +140,22 @@ impl Workload {
         &self.steps
     }
 
-    /// Total number of HKS kernel invocations across all steps.
+    /// Total number of HKS kernel invocations across all steps — always the
+    /// sum of [`KernelStep::hks_count`] over [`Workload::steps`], and the
+    /// value reported back as
+    /// [`JobOutput::kernels`](crate::api::JobOutput::kernels) after a run.
     pub fn hks_invocations(&self) -> usize {
         self.steps.iter().map(KernelStep::hks_count).sum()
     }
 
     /// Preset: a batch of `count` chained rotations.
+    ///
+    /// ```
+    /// use ciflow::{HksBenchmark, Workload};
+    /// let w = Workload::rotation_batch(HksBenchmark::ARK, 8);
+    /// assert_eq!(w.hks_invocations(), 8);
+    /// assert!(w.name.contains("rot8"));
+    /// ```
     pub fn rotation_batch(benchmark: HksBenchmark, count: usize) -> Self {
         Self::new(format!("rot{count}-{}", benchmark.name), benchmark)
             .step(KernelStep::RotationBatch { count })
@@ -168,16 +197,26 @@ impl std::fmt::Display for Workload {
 
 /// A fused (or deliberately unfused) multi-kernel schedule plus its pipeline
 /// metadata.
+///
+/// The stitched [`schedule`](Self::schedule) carries the channel hints of
+/// its per-kernel template: task labels keep their canonical buffer names
+/// (with a `k<i>:` kernel prefix), so
+/// [`Schedule::channel_map`] places evk prefetch
+/// and limb writebacks on disjoint memory channels for any channel count —
+/// the cross-kernel overlap the multi-channel memory model exists for.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSchedule {
     /// The stitched schedule: one task graph covering every kernel.
     pub schedule: Schedule,
-    /// Number of HKS kernel invocations in the pipeline.
+    /// Number of HKS kernel invocations in the pipeline. Always equals the
+    /// workload's [`Workload::hks_invocations`].
     pub kernels: usize,
     /// The pipeline mode the graph was stitched under.
     pub mode: PipelineMode,
     /// DRAM traffic eliminated by on-chip forwarding, in bytes (0 when
     /// unfused or when the chained polynomial does not fit on-chip).
+    /// Invariant: `kernels * template_bytes - forwarded_bytes` equals the
+    /// stitched graph's total DRAM traffic.
     pub forwarded_bytes: u64,
 }
 

@@ -51,8 +51,16 @@ pub struct RpuConfig {
     pub key_memory_bytes: u64,
     /// On-chip scalar memory in bytes (1 MB; not performance-critical).
     pub scalar_memory_bytes: u64,
-    /// Off-chip DRAM bandwidth in GB/s (decimal gigabytes).
+    /// Off-chip DRAM bandwidth in GB/s (decimal gigabytes). This is the
+    /// *aggregate* across all memory channels; each of the
+    /// [`num_memory_channels`](Self::num_memory_channels) pseudo-channels
+    /// sustains `1/N` of it.
     pub dram_bandwidth_gbps: f64,
+    /// Number of independent in-order DRAM pseudo-channels the aggregate
+    /// bandwidth is split over (HBM parts expose 8–32). `1` reproduces the
+    /// classic single-queue memory model exactly; values are clamped to at
+    /// least 1 by [`memory_channel_count`](Self::memory_channel_count).
+    pub num_memory_channels: usize,
     /// Computational-throughput multiplier relative to the 128-HPLE baseline
     /// (the paper's 1×/2×/4×/8×/16× MODOPS sweep).
     pub modops_multiplier: f64,
@@ -79,6 +87,7 @@ impl RpuConfig {
             key_memory_bytes: 360 * MIB,
             scalar_memory_bytes: MIB,
             dram_bandwidth_gbps: 64.0,
+            num_memory_channels: 1,
             modops_multiplier: 1.0,
             evk_policy: EvkPolicy::OnChip,
         }
@@ -97,6 +106,12 @@ impl RpuConfig {
     /// The CiFlow evaluation configuration for a given evk placement:
     /// [`RpuConfig::ciflow_baseline`] for [`EvkPolicy::OnChip`],
     /// [`RpuConfig::ciflow_streaming`] for [`EvkPolicy::Streamed`].
+    ///
+    /// ```
+    /// use rpu::{EvkPolicy, RpuConfig};
+    /// let c = RpuConfig::ciflow_with_policy(EvkPolicy::Streamed);
+    /// assert_eq!(c.key_memory_bytes, 0);
+    /// ```
     pub fn ciflow_with_policy(evk_policy: EvkPolicy) -> Self {
         match evk_policy {
             EvkPolicy::OnChip => Self::ciflow_baseline(),
@@ -104,21 +119,54 @@ impl RpuConfig {
         }
     }
 
-    /// Returns a copy with a different off-chip bandwidth.
+    /// Returns a copy with a different *aggregate* off-chip bandwidth.
+    ///
+    /// ```
+    /// use rpu::RpuConfig;
+    /// let c = RpuConfig::ciflow_baseline().with_bandwidth(12.8);
+    /// assert!((c.dram_bytes_per_second() - 12.8e9).abs() < 1.0);
+    /// ```
     pub fn with_bandwidth(mut self, gbps: f64) -> Self {
         self.dram_bandwidth_gbps = gbps;
         self
     }
 
     /// Returns a copy with a different MODOPS multiplier.
+    ///
+    /// ```
+    /// use rpu::RpuConfig;
+    /// let c = RpuConfig::ciflow_baseline().with_modops(2.0);
+    /// assert!((c.modops_per_second() - 2.0 * 217.6e9).abs() < 1e6);
+    /// ```
     pub fn with_modops(mut self, multiplier: f64) -> Self {
         self.modops_multiplier = multiplier;
         self
     }
 
     /// Returns a copy with a different vector data memory capacity.
+    ///
+    /// ```
+    /// use rpu::{RpuConfig, MIB};
+    /// let c = RpuConfig::ciflow_baseline().with_vector_memory(64 * MIB);
+    /// assert_eq!(c.vector_memory_bytes, 64 * MIB);
+    /// ```
     pub fn with_vector_memory(mut self, bytes: u64) -> Self {
         self.vector_memory_bytes = bytes;
+        self
+    }
+
+    /// Returns a copy with the aggregate bandwidth split over `channels`
+    /// independent in-order pseudo-channels. The total bandwidth is
+    /// unchanged — more channels mean narrower channels:
+    ///
+    /// ```
+    /// use rpu::RpuConfig;
+    /// let c = RpuConfig::ciflow_baseline().with_memory_channels(8);
+    /// assert_eq!(c.memory_channel_count(), 8);
+    /// assert!((c.channel_bytes_per_second() - c.dram_bytes_per_second() / 8.0).abs() < 1.0);
+    /// ```
+    pub fn with_memory_channels(mut self, channels: usize) -> Self {
+        self.num_memory_channels = channels;
         self
     }
 
@@ -128,9 +176,27 @@ impl RpuConfig {
         self.num_hples as f64 * self.clock_ghz * 1e9 * self.modops_multiplier
     }
 
-    /// Off-chip bandwidth in bytes per second (decimal GB).
+    /// Aggregate off-chip bandwidth in bytes per second (decimal GB).
     pub fn dram_bytes_per_second(&self) -> f64 {
         self.dram_bandwidth_gbps * 1e9
+    }
+
+    /// Number of memory channels, clamped to at least 1 (a zero-channel RPU
+    /// would have no DRAM interface at all).
+    pub fn memory_channel_count(&self) -> usize {
+        self.num_memory_channels.max(1)
+    }
+
+    /// Sustained bandwidth of one pseudo-channel in bytes per second: the
+    /// aggregate divided by the channel count. The channels time-share one
+    /// full-rate data path (see `docs/MEMORY_MODEL.md`), so this is the
+    /// fair-share rate a channel sustains when all channels stream
+    /// continuously — an individual granted transfer still bursts at the
+    /// full aggregate rate. With one channel this is exactly
+    /// [`dram_bytes_per_second`](Self::dram_bytes_per_second) (the division
+    /// by 1.0 is lossless).
+    pub fn channel_bytes_per_second(&self) -> f64 {
+        self.dram_bytes_per_second() / self.memory_channel_count() as f64
     }
 
     /// Total on-chip SRAM (vector data + key + scalar memories) in bytes.
@@ -189,6 +255,26 @@ mod tests {
         assert!((c.modops_per_second() - 2.0 * 217.6e9).abs() < 1e6);
         assert_eq!(c.vector_memory_bytes, 64 * MIB);
         assert!((c.dram_bytes_per_second() - 12.8e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn channel_bandwidth_derivation() {
+        let c = RpuConfig::ciflow_baseline();
+        assert_eq!(c.memory_channel_count(), 1);
+        // One channel: per-channel bandwidth IS the aggregate, bit for bit.
+        assert_eq!(
+            c.channel_bytes_per_second().to_bits(),
+            c.dram_bytes_per_second().to_bits()
+        );
+        let eight = c.clone().with_memory_channels(8);
+        assert_eq!(eight.memory_channel_count(), 8);
+        assert!((eight.channel_bytes_per_second() - 8e9).abs() < 1.0);
+        // The aggregate is conserved.
+        assert!(
+            (8.0 * eight.channel_bytes_per_second() - eight.dram_bytes_per_second()).abs() < 1.0
+        );
+        // Degenerate zero-channel configurations clamp to one channel.
+        assert_eq!(c.clone().with_memory_channels(0).memory_channel_count(), 1);
     }
 
     #[test]

@@ -1,17 +1,24 @@
 //! The decoupled execution engine.
 //!
-//! The RPU fetches compute and memory instructions through separate queues
+//! The RPU fetches compute and memory instructions through decoupled queues
 //! and overlaps DRAM transfers with computation whenever dependencies allow
-//! (paper §V-A/§V-C). The engine models exactly that: the task graph is split
-//! into an in-order *compute* queue and an in-order *memory* queue; the head
-//! of each queue starts as soon as its dependencies have completed, and the
-//! two heads may execute concurrently. Because FHE is data-oblivious, all of
-//! this is known statically and the model needs no speculation.
+//! (paper §V-A/§V-C): one in-order *compute* queue plus one in-order command
+//! queue per DRAM pseudo-channel, all pseudo-channels sharing a single
+//! full-rate data path. A transfer occupies the data path for
+//! `bytes / bandwidth` seconds; when the path frees, the oldest
+//! dependency-ready channel head is granted next — so extra channels buy
+//! *head-of-line bypass* (a dep-blocked writeback no longer stalls a ready
+//! prefetch on another channel), never extra peak bandwidth. With one
+//! channel the model degenerates, operation for operation, to the classic
+//! single in-order memory queue. Because FHE is data-oblivious, all of this
+//! is known statically and the model needs no speculation.
 //!
-//! Task durations come from the configuration: a compute task of `ops`
-//! modular operations takes `ops / MODOPS` seconds; a memory task of `bytes`
-//! takes `bytes / bandwidth` seconds.
+//! The full timing semantics — issue and grant rules, dependency stalls, the
+//! deadlock condition, buffer-to-channel mapping, and worked timing
+//! diagrams — are documented in `docs/MEMORY_MODEL.md` at the repository
+//! root.
 
+use crate::channel::ChannelMap;
 use crate::config::RpuConfig;
 use crate::stats::ExecutionStats;
 use crate::task::{Task, TaskGraph, TaskId, TaskKind};
@@ -20,13 +27,15 @@ use crate::trace::{EngineQueue, ExecutionTrace, TaskRecord};
 /// Errors raised during execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
-    /// Neither queue head can make progress: the schedule has a cross-queue
-    /// ordering cycle (a generator bug).
+    /// No queue head can make progress: the schedule has a cross-queue
+    /// ordering cycle (a generator bug). See the deadlock section of
+    /// `docs/MEMORY_MODEL.md` for how such cycles arise.
     Deadlock {
         /// Task at the head of the compute queue, if any.
         compute_head: Option<TaskId>,
-        /// Task at the head of the memory queue, if any.
-        memory_head: Option<TaskId>,
+        /// The blocked `(channel, head task)` pairs of the non-empty memory
+        /// queues.
+        memory_heads: Vec<(usize, TaskId)>,
     },
 }
 
@@ -35,10 +44,10 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Deadlock {
                 compute_head,
-                memory_head,
+                memory_heads,
             } => write!(
                 f,
-                "schedule deadlock: compute head {compute_head:?}, memory head {memory_head:?}"
+                "schedule deadlock: compute head {compute_head:?}, memory heads {memory_heads:?}"
             ),
         }
     }
@@ -59,12 +68,29 @@ pub struct RunResult {
 #[derive(Debug, Clone)]
 pub struct RpuEngine {
     config: RpuConfig,
+    channel_map: ChannelMap,
 }
 
 impl RpuEngine {
-    /// Creates an engine for a configuration.
+    /// Creates an engine for a configuration. Memory tasks are placed on the
+    /// configuration's channels by hashing their buffer labels
+    /// ([`ChannelMap::hashed`]); override the placement with
+    /// [`RpuEngine::with_channel_map`].
     pub fn new(config: RpuConfig) -> Self {
-        Self { config }
+        let channel_map = ChannelMap::hashed(config.memory_channel_count());
+        Self {
+            config,
+            channel_map,
+        }
+    }
+
+    /// Replaces the buffer-to-channel mapping (e.g. to pin evk towers and
+    /// spill buffers to disjoint channel groups). Channels the map names
+    /// beyond the configuration's channel count wrap around modulo the
+    /// count, so a map built for a different channel count still executes.
+    pub fn with_channel_map(mut self, channel_map: ChannelMap) -> Self {
+        self.channel_map = channel_map;
+        self
     }
 
     /// The configuration in use.
@@ -72,7 +98,15 @@ impl RpuEngine {
         &self.config
     }
 
-    /// Duration of a single task under this configuration, in seconds.
+    /// The buffer-to-channel mapping in use.
+    pub fn channel_map(&self) -> &ChannelMap {
+        &self.channel_map
+    }
+
+    /// Duration of a single task under this configuration, in seconds. A
+    /// memory task occupies the shared data path exclusively while it runs,
+    /// so its duration is `bytes / aggregate bandwidth` regardless of the
+    /// channel count (channels buy scheduling freedom, not rate).
     pub fn task_duration(&self, task: &Task) -> f64 {
         match task.kind {
             TaskKind::Compute { ops, .. } => ops as f64 / self.config.modops_per_second(),
@@ -80,31 +114,46 @@ impl RpuEngine {
         }
     }
 
+    /// The memory channel a task executes on: its explicit hint if set,
+    /// otherwise the channel map's label-driven placement — both reduced
+    /// modulo the configured channel count.
+    pub fn channel_of(&self, task: &Task) -> usize {
+        let n = self.config.memory_channel_count();
+        match task.channel {
+            Some(hint) => hint % n,
+            None => self.channel_map.channel_for(&task.label) % n,
+        }
+    }
+
     /// Executes a task graph and returns runtime statistics and a trace.
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::Deadlock`] if the two in-order queues block each
+    /// Returns [`EngineError::Deadlock`] if the in-order queues block each
     /// other, which indicates an invalid schedule.
     pub fn execute(&self, graph: &TaskGraph) -> Result<RunResult, EngineError> {
         let tasks = graph.tasks();
+        let channels = self.config.memory_channel_count();
         let compute_queue: Vec<TaskId> = tasks
             .iter()
             .filter(|t| t.is_compute())
             .map(|t| t.id)
             .collect();
-        let memory_queue: Vec<TaskId> = tasks
-            .iter()
-            .filter(|t| t.is_memory())
-            .map(|t| t.id)
-            .collect();
+        // One in-order queue per memory channel, in program order.
+        let mut memory_queues: Vec<Vec<TaskId>> = vec![Vec::new(); channels];
+        let mut memory_tasks = 0usize;
+        for task in tasks.iter().filter(|t| t.is_memory()) {
+            memory_queues[self.channel_of(task)].push(task.id);
+            memory_tasks += 1;
+        }
 
         let mut finish = vec![f64::NAN; tasks.len()];
         let mut trace = ExecutionTrace::new();
         let mut stats = ExecutionStats {
             compute_tasks: compute_queue.len(),
-            memory_tasks: memory_queue.len(),
+            memory_tasks,
             total_ops: graph.total_ops(),
+            memory_channel_busy_seconds: vec![0.0; channels],
             ..ExecutionStats::default()
         };
         let (loaded, stored) = graph.total_bytes();
@@ -112,9 +161,9 @@ impl RpuEngine {
         stats.bytes_stored = stored;
 
         let mut ci = 0usize; // compute queue index
-        let mut mi = 0usize; // memory queue index
+        let mut mi = vec![0usize; channels]; // per-channel memory queue index
         let mut compute_free_at = 0.0f64;
-        let mut memory_free_at = 0.0f64;
+        let mut bus_free_at = 0.0f64; // when the shared data path frees
 
         let deps_ready = |task: &Task, finish: &[f64]| -> Option<f64> {
             let mut ready = 0.0f64;
@@ -128,59 +177,110 @@ impl RpuEngine {
             Some(ready)
         };
 
-        while ci < compute_queue.len() || mi < memory_queue.len() {
-            let mut progressed = false;
+        // Event-driven simulation: the in-flight compute task and the
+        // in-flight memory grant are the only events; at each event time the
+        // compute head issues if ready, and the freed data path is granted
+        // to the oldest (lowest task id, i.e. earliest program order)
+        // dependency-ready channel head. A channel whose head is still
+        // waiting on a dependency does not block the grant — that
+        // head-of-line bypass is the entire benefit of multiple channels.
+        let mut mem_run: Option<(TaskId, usize, f64, f64)> = None; // (task, channel, start, end)
+        let mut comp_run: Option<(TaskId, f64, f64)> = None; // (task, start, end)
 
-            // Try to issue the head of the memory queue first (prefetching is
-            // what lets the RPU hide latency), then the compute head. Both
-            // can be issued in the same iteration; they overlap in time.
-            if mi < memory_queue.len() {
-                let task = &tasks[memory_queue[mi]];
-                if let Some(dep_ready) = deps_ready(task, &finish) {
-                    let start = dep_ready.max(memory_free_at);
-                    let end = start + self.task_duration(task);
-                    finish[task.id] = end;
-                    memory_free_at = end;
-                    stats.memory_busy_seconds += end - start;
-                    trace.push(TaskRecord {
-                        task: task.id,
-                        queue: EngineQueue::Memory,
-                        start_seconds: start,
-                        end_seconds: end,
-                        label: task.label.clone(),
-                        stage: task.stage.clone(),
-                    });
-                    mi += 1;
-                    progressed = true;
+        loop {
+            // Issue the compute head as soon as its dependencies' finish
+            // times are known.
+            if comp_run.is_none() {
+                if let Some(&head) = compute_queue.get(ci) {
+                    let task = &tasks[head];
+                    if let Some(dep_ready) = deps_ready(task, &finish) {
+                        let start = dep_ready.max(compute_free_at);
+                        comp_run = Some((head, start, start + self.task_duration(task)));
+                        ci += 1;
+                    }
                 }
             }
 
-            if ci < compute_queue.len() {
-                let task = &tasks[compute_queue[ci]];
-                if let Some(dep_ready) = deps_ready(task, &finish) {
-                    let start = dep_ready.max(compute_free_at);
-                    let end = start + self.task_duration(task);
-                    finish[task.id] = end;
+            // Grant the data path to the oldest ready channel head.
+            if mem_run.is_none() {
+                let mut grant: Option<(TaskId, usize)> = None;
+                for (channel, queue) in memory_queues.iter().enumerate() {
+                    if let Some(&head) = queue.get(mi[channel]) {
+                        if deps_ready(&tasks[head], &finish).is_some()
+                            && grant.is_none_or(|(best, _)| head < best)
+                        {
+                            grant = Some((head, channel));
+                        }
+                    }
+                }
+                if let Some((head, channel)) = grant {
+                    let task = &tasks[head];
+                    let dep_ready = deps_ready(task, &finish).expect("grant head is ready");
+                    let start = dep_ready.max(bus_free_at);
+                    mem_run = Some((head, channel, start, start + self.task_duration(task)));
+                    mi[channel] += 1;
+                }
+            }
+
+            // Advance to the next completion event.
+            let t_next = match (&comp_run, &mem_run) {
+                (Some((_, _, ce)), Some((_, _, _, me))) => ce.min(*me),
+                (Some((_, _, ce)), None) => *ce,
+                (None, Some((_, _, _, me))) => *me,
+                (None, None) => {
+                    let exhausted = ci >= compute_queue.len()
+                        && mi
+                            .iter()
+                            .zip(&memory_queues)
+                            .all(|(&i, queue)| i >= queue.len());
+                    if exhausted {
+                        break;
+                    }
+                    return Err(EngineError::Deadlock {
+                        compute_head: compute_queue.get(ci).copied(),
+                        memory_heads: memory_queues
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(channel, queue)| {
+                                queue.get(mi[channel]).map(|&head| (channel, head))
+                            })
+                            .collect(),
+                    });
+                }
+            };
+
+            if let Some((head, channel, start, end)) = mem_run {
+                if end <= t_next {
+                    finish[head] = end;
+                    bus_free_at = end;
+                    stats.memory_busy_seconds += end - start;
+                    stats.memory_channel_busy_seconds[channel] += end - start;
+                    trace.push(TaskRecord {
+                        task: head,
+                        queue: EngineQueue::Memory(channel),
+                        start_seconds: start,
+                        end_seconds: end,
+                        label: tasks[head].label.clone(),
+                        stage: tasks[head].stage.clone(),
+                    });
+                    mem_run = None;
+                }
+            }
+            if let Some((head, start, end)) = comp_run {
+                if end <= t_next {
+                    finish[head] = end;
                     compute_free_at = end;
                     stats.compute_busy_seconds += end - start;
                     trace.push(TaskRecord {
-                        task: task.id,
+                        task: head,
                         queue: EngineQueue::Compute,
                         start_seconds: start,
                         end_seconds: end,
-                        label: task.label.clone(),
-                        stage: task.stage.clone(),
+                        label: tasks[head].label.clone(),
+                        stage: tasks[head].stage.clone(),
                     });
-                    ci += 1;
-                    progressed = true;
+                    comp_run = None;
                 }
-            }
-
-            if !progressed {
-                return Err(EngineError::Deadlock {
-                    compute_head: compute_queue.get(ci).copied(),
-                    memory_head: memory_queue.get(mi).copied(),
-                });
             }
         }
 
@@ -208,6 +308,7 @@ mod tests {
             key_memory_bytes: 0,
             scalar_memory_bytes: 0,
             dram_bandwidth_gbps: 1.0,
+            num_memory_channels: 1,
             modops_multiplier: 1.0,
             evk_policy: crate::config::EvkPolicy::Streamed,
         }
@@ -256,6 +357,81 @@ mod tests {
         let result = RpuEngine::new(unit_config()).execute(&g).unwrap();
         // Memory channel: 0-1 load, 1-2 store. Compute: 1-1.5.
         assert!((result.stats.runtime_seconds - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_channels_bypass_a_dependency_blocked_head() {
+        // Program order: compute C0 (1 s), store S of C0's result, load L
+        // (independent), compute C1 needing L. With one channel the in-order
+        // memory queue holds L behind the dep-blocked S: S 1-2, L 2-3,
+        // C1 3-4 — runtime 4 s. With S and L on different channels the bus
+        // grants L immediately (head-of-line bypass): L 0-1, C1 1-2, S 1-2 —
+        // runtime 2 s. The aggregate bandwidth never changed.
+        let build = |s_channel: Option<usize>, l_channel: Option<usize>| {
+            let mut g = TaskGraph::new();
+            let c0 = g.push_compute(ComputeKind::Ntt, 1_000_000_000, vec![], "c0", "P1");
+            g.push_memory_on(
+                MemoryDirection::Store,
+                1_000_000_000,
+                vec![c0],
+                "store s",
+                "P1",
+                s_channel,
+            );
+            let l = g.push_memory_on(
+                MemoryDirection::Load,
+                1_000_000_000,
+                vec![],
+                "load l",
+                "P1",
+                l_channel,
+            );
+            g.push_compute(ComputeKind::Ntt, 1_000_000_000, vec![l], "c1", "P1");
+            g
+        };
+        let single = RpuEngine::new(unit_config())
+            .execute(&build(None, None))
+            .unwrap();
+        assert!((single.stats.runtime_seconds - 4.0).abs() < 1e-9);
+        let dual = RpuEngine::new(unit_config().with_memory_channels(2))
+            .execute(&build(Some(0), Some(1)))
+            .unwrap();
+        assert!((dual.stats.runtime_seconds - 2.0).abs() < 1e-9);
+        assert_eq!(dual.stats.memory_channel_count(), 2);
+        assert!((dual.stats.memory_channel_busy(0) - 1.0).abs() < 1e-9);
+        assert!((dual.stats.memory_channel_busy(1) - 1.0).abs() < 1e-9);
+        // The per-channel accounting sums to the aggregate busy time.
+        assert!(
+            (dual.stats.memory_channel_busy_seconds.iter().sum::<f64>()
+                - dual.stats.memory_busy_seconds)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn channel_hints_override_the_label_map() {
+        // Two identical labels with different hints land on different
+        // channels; without hints the identical labels share one channel.
+        let mut g = TaskGraph::new();
+        g.push_memory_on(MemoryDirection::Load, 10, vec![], "same", "P1", Some(0));
+        g.push_memory_on(MemoryDirection::Load, 10, vec![], "same", "P1", Some(3));
+        let engine = RpuEngine::new(unit_config().with_memory_channels(4));
+        let result = engine.execute(&g).unwrap();
+        let channels: Vec<usize> = result
+            .trace
+            .records()
+            .iter()
+            .filter_map(|r| r.queue.channel())
+            .collect();
+        assert_eq!(channels, vec![0, 3]);
+        // Hints wrap modulo the configured channel count.
+        let mut g2 = TaskGraph::new();
+        g2.push_memory_on(MemoryDirection::Load, 10, vec![], "x", "P1", Some(7));
+        let r2 = RpuEngine::new(unit_config().with_memory_channels(2))
+            .execute(&g2)
+            .unwrap();
+        assert_eq!(r2.trace.records()[0].queue.channel(), Some(1));
     }
 
     #[test]
@@ -318,6 +494,7 @@ mod tests {
                 dependencies: vec![],
                 label: "c".into(),
                 stage: "P1".into(),
+                channel: None,
             },
             Task {
                 id: 1,
@@ -328,6 +505,7 @@ mod tests {
                 dependencies: vec![2],
                 label: "m1".into(),
                 stage: "P1".into(),
+                channel: None,
             },
             Task {
                 id: 2,
@@ -338,6 +516,7 @@ mod tests {
                 dependencies: vec![],
                 label: "m2".into(),
                 stage: "P1".into(),
+                channel: None,
             },
         ];
         // Build without validation helper: dependency 2 comes after 1 in
@@ -345,5 +524,35 @@ mod tests {
         // manually through push to mimic a buggy generator is not possible,
         // so assert the validator catches it instead.
         assert!(TaskGraph::from_tasks(tasks).is_err());
+    }
+
+    #[test]
+    fn multi_queue_issue_respects_dependencies() {
+        // A serial chain alternating between the compute queue and one
+        // pinned memory channel must execute strictly in dependency order
+        // even when other channels are free.
+        let mut g = TaskGraph::new();
+        let c = g.push_compute(ComputeKind::Ntt, 10, vec![], "c", "P1");
+        let m1 = g.push_memory_on(MemoryDirection::Load, 10, vec![c], "m1", "P1", Some(0));
+        let blocked = g.push_compute(ComputeKind::Ntt, 10, vec![m1], "c2", "P1");
+        g.push_memory_on(
+            MemoryDirection::Load,
+            10,
+            vec![blocked],
+            "m2",
+            "P1",
+            Some(0),
+        );
+        let result = RpuEngine::new(unit_config().with_memory_channels(2))
+            .execute(&g)
+            .unwrap();
+        assert_eq!(result.trace.records().len(), 4);
+        let finish: Vec<f64> = result
+            .trace
+            .records()
+            .iter()
+            .map(|r| r.end_seconds)
+            .collect();
+        assert!(finish.windows(2).all(|w| w[1] >= w[0] - 1e-12));
     }
 }

@@ -14,8 +14,12 @@
 //!   model (modular operations per NTT / BConv / point-wise kernel).
 //! * [`task`] — compute and memory tasks with explicit dependencies, the
 //!   interface between the CiFlow schedule generators and the hardware model.
-//! * [`engine::RpuEngine`] — the decoupled dual-queue executor producing
-//!   runtimes, idle fractions and per-task traces.
+//! * [`engine::RpuEngine`] — the decoupled executor (one compute queue plus
+//!   one in-order queue per DRAM pseudo-channel) producing runtimes, idle
+//!   fractions and per-task traces; timing semantics in
+//!   `docs/MEMORY_MODEL.md`.
+//! * [`channel::ChannelMap`] — deterministic buffer-to-channel placement for
+//!   the multi-channel memory model (label hash plus overridable pin rules).
 //! * [`memory::OnChipTracker`] — capacity bookkeeping used while generating
 //!   schedules.
 //!
@@ -38,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod channel;
 pub mod config;
 pub mod engine;
 pub mod isa;
@@ -46,6 +51,7 @@ pub mod stats;
 pub mod task;
 pub mod trace;
 
+pub use channel::ChannelMap;
 pub use config::{EvkPolicy, RpuConfig, MIB};
 pub use engine::{EngineError, RpuEngine, RunResult};
 pub use isa::{B1kInstruction, InstructionClass, KernelCosts};

@@ -3,14 +3,22 @@
 use serde::{Deserialize, Serialize};
 
 /// Aggregate outcome of executing one task graph on the RPU model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct ExecutionStats {
     /// End-to-end runtime in seconds.
     pub runtime_seconds: f64,
     /// Time the compute pipeline spent executing tasks, in seconds.
     pub compute_busy_seconds: f64,
-    /// Time the memory channel spent transferring data, in seconds.
+    /// Time the shared DRAM data path spent transferring, in seconds. The
+    /// pseudo-channels time-share one data path, so this never exceeds the
+    /// runtime, and it always equals the sum of
+    /// [`memory_channel_busy_seconds`](Self::memory_channel_busy_seconds) —
+    /// the engine maintains that invariant and a regression test enforces it.
     pub memory_busy_seconds: f64,
+    /// Per-channel transfer time in seconds, indexed by memory channel. Has
+    /// one entry per configured channel (a single entry for the classic
+    /// single-queue model).
+    pub memory_channel_busy_seconds: Vec<f64>,
     /// Total modular operations executed.
     pub total_ops: u64,
     /// Bytes loaded from DRAM.
@@ -40,13 +48,59 @@ impl ExecutionStats {
         }
     }
 
-    /// Fraction of the runtime during which the memory channel was idle.
+    /// Fraction of the runtime during which the DRAM data path was idle
+    /// (no channel transferring).
     pub fn memory_idle_fraction(&self) -> f64 {
         if self.runtime_seconds <= 0.0 {
             0.0
         } else {
             (1.0 - self.memory_busy_seconds / self.runtime_seconds).max(0.0)
         }
+    }
+
+    /// Number of memory channels the run executed with. Statistics built by
+    /// hand without per-channel entries count as single-channel.
+    pub fn memory_channel_count(&self) -> usize {
+        self.memory_channel_busy_seconds.len().max(1)
+    }
+
+    /// Busy time of one memory channel in seconds (0.0 for a channel index
+    /// the run did not have).
+    pub fn memory_channel_busy(&self, channel: usize) -> f64 {
+        self.memory_channel_busy_seconds
+            .get(channel)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Fraction of the runtime during which one memory channel was idle.
+    pub fn memory_channel_idle_fraction(&self, channel: usize) -> f64 {
+        if self.runtime_seconds <= 0.0 {
+            0.0
+        } else {
+            (1.0 - self.memory_channel_busy(channel) / self.runtime_seconds).max(0.0)
+        }
+    }
+
+    /// Channel load imbalance: the busiest channel's transfer time divided
+    /// by the mean across channels (1.0 = perfectly balanced; large values
+    /// mean the placement starved most channels). Returns 1.0 when no
+    /// memory traffic was executed.
+    pub fn memory_channel_imbalance(&self) -> f64 {
+        let n = self.memory_channel_count();
+        let mean = self.memory_busy_seconds / n as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        let busiest = if self.memory_channel_busy_seconds.is_empty() {
+            self.memory_busy_seconds
+        } else {
+            self.memory_channel_busy_seconds
+                .iter()
+                .copied()
+                .fold(0.0f64, f64::max)
+        };
+        busiest / mean
     }
 
     /// Total DRAM traffic in bytes.
@@ -83,6 +137,7 @@ mod tests {
             runtime_seconds: 2.0,
             compute_busy_seconds: 1.5,
             memory_busy_seconds: 1.0,
+            memory_channel_busy_seconds: vec![1.0],
             total_ops: 3_000,
             bytes_loaded: 600,
             bytes_stored: 400,
@@ -98,11 +153,33 @@ mod tests {
     }
 
     #[test]
+    fn per_channel_metrics() {
+        let s = ExecutionStats {
+            runtime_seconds: 2.0,
+            compute_busy_seconds: 1.0,
+            memory_busy_seconds: 1.5,
+            memory_channel_busy_seconds: vec![1.0, 0.5, 0.0, 0.0],
+            memory_tasks: 3,
+            ..ExecutionStats::default()
+        };
+        assert_eq!(s.memory_channel_count(), 4);
+        assert!((s.memory_channel_busy(0) - 1.0).abs() < 1e-12);
+        assert!((s.memory_channel_busy(7) - 0.0).abs() < 1e-12);
+        assert!((s.memory_channel_idle_fraction(1) - 0.75).abs() < 1e-12);
+        // Mean busy = 0.375 s, busiest = 1.0 s.
+        assert!((s.memory_channel_imbalance() - 1.0 / 0.375).abs() < 1e-12);
+        // The data path was transferring 1.5 s of the 2 s runtime.
+        assert!((s.memory_idle_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
     fn zero_runtime_is_handled() {
         let s = ExecutionStats::default();
         assert_eq!(s.compute_idle_fraction(), 0.0);
         assert_eq!(s.memory_idle_fraction(), 0.0);
         assert_eq!(s.achieved_modops_per_second(), 0.0);
         assert!(s.arithmetic_intensity().is_infinite());
+        assert_eq!(s.memory_channel_count(), 1);
+        assert!((s.memory_channel_imbalance() - 1.0).abs() < 1e-12);
     }
 }

@@ -83,10 +83,18 @@ pub struct Task {
     pub kind: TaskKind,
     /// Ids of tasks that must finish before this task may start.
     pub dependencies: Vec<TaskId>,
-    /// Human-readable label (buffer or kernel name), used in traces.
+    /// Human-readable label (buffer or kernel name), used in traces. For
+    /// memory tasks this is also the *placement key*: the engine's
+    /// [`ChannelMap`](crate::channel::ChannelMap) hashes it to pick the
+    /// task's memory channel unless [`channel`](Self::channel) overrides it.
     pub label: String,
     /// HKS stage name (e.g. "ModUp-P2") used to group the timing diagrams.
     pub stage: String,
+    /// Explicit memory-channel hint. `None` (the default for every
+    /// [`TaskGraph::push_memory`] task) defers placement to the engine's
+    /// label-driven channel map; `Some(c)` pins the transfer to channel
+    /// `c % num_memory_channels`. Ignored for compute tasks.
+    pub channel: Option<usize>,
 }
 
 impl Task {
@@ -268,10 +276,17 @@ impl TaskGraph {
         label: impl Into<String>,
         stage: impl Into<String>,
     ) -> TaskId {
-        self.push(TaskKind::Compute { kind, ops }, dependencies, label, stage)
+        self.push(
+            TaskKind::Compute { kind, ops },
+            dependencies,
+            label,
+            stage,
+            None,
+        )
     }
 
-    /// Appends a memory task and returns its id.
+    /// Appends a memory task (no channel hint — the engine places it by
+    /// label) and returns its id.
     pub fn push_memory(
         &mut self,
         direction: MemoryDirection,
@@ -280,11 +295,27 @@ impl TaskGraph {
         label: impl Into<String>,
         stage: impl Into<String>,
     ) -> TaskId {
+        self.push_memory_on(direction, bytes, dependencies, label, stage, None)
+    }
+
+    /// Appends a memory task with an explicit channel hint and returns its
+    /// id. `Some(c)` pins the transfer to memory channel
+    /// `c % num_memory_channels` regardless of the engine's channel map.
+    pub fn push_memory_on(
+        &mut self,
+        direction: MemoryDirection,
+        bytes: u64,
+        dependencies: Vec<TaskId>,
+        label: impl Into<String>,
+        stage: impl Into<String>,
+        channel: Option<usize>,
+    ) -> TaskId {
         self.push(
             TaskKind::Memory { direction, bytes },
             dependencies,
             label,
             stage,
+            channel,
         )
     }
 
@@ -294,6 +325,7 @@ impl TaskGraph {
         dependencies: Vec<TaskId>,
         label: impl Into<String>,
         stage: impl Into<String>,
+        channel: Option<usize>,
     ) -> TaskId {
         let id = self.tasks.len();
         debug_assert!(dependencies.iter().all(|&d| d < id));
@@ -303,6 +335,7 @@ impl TaskGraph {
             dependencies,
             label: label.into(),
             stage: stage.into(),
+            channel,
         });
         id
     }
@@ -423,6 +456,7 @@ impl TaskGraph {
                         dependencies: deps,
                         label: format!("{label_prefix}{}", task.label),
                         stage: task.stage.clone(),
+                        channel: task.channel,
                     });
                     mapping.push(AppendMapping::Task(id));
                 }
@@ -515,6 +549,7 @@ mod tests {
             dependencies: vec![],
             label: "x".into(),
             stage: "s".into(),
+            channel: None,
         };
         assert!(matches!(
             TaskGraph::from_tasks(vec![t]),
@@ -529,6 +564,7 @@ mod tests {
             dependencies: vec![1],
             label: "x".into(),
             stage: "s".into(),
+            channel: None,
         };
         assert!(matches!(
             TaskGraph::from_tasks(vec![t0]),

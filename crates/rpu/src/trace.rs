@@ -12,8 +12,24 @@ use serde::{Deserialize, Serialize};
 pub enum EngineQueue {
     /// The HPLE compute pipeline.
     Compute,
-    /// The DRAM channel.
-    Memory,
+    /// One of the in-order DRAM pseudo-channels, identified by its index
+    /// (always 0 under the classic single-channel model).
+    Memory(usize),
+}
+
+impl EngineQueue {
+    /// True for memory channels.
+    pub fn is_memory(&self) -> bool {
+        matches!(self, EngineQueue::Memory(_))
+    }
+
+    /// The memory channel index, or `None` for the compute pipeline.
+    pub fn channel(&self) -> Option<usize> {
+        match self {
+            EngineQueue::Compute => None,
+            EngineQueue::Memory(c) => Some(*c),
+        }
+    }
 }
 
 /// Start/end record of one executed task.

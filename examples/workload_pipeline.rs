@@ -66,5 +66,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\n(12.8 GB/s, evks on-chip; fusion prefetches kernel i+1 under kernel i's compute");
     println!(" and forwards the chained polynomial on-chip when it fits in the data memory)");
+
+    // Part two: split the memory queue into pseudo-channels. The aggregate
+    // bandwidth is unchanged — channel-aware placement lets the fused
+    // pipeline's evk prefetch bypass dependency-blocked writebacks, so the
+    // compute-idle fraction falls as channels grow.
+    println!("\nMemory channels (ARK x8 rotations, OC fused, evks streamed @ 128 GB/s):");
+    let workload = Workload::rotation_batch(HksBenchmark::ARK, 8);
+    for channels in ciflow::sweep::CHANNEL_LADDER {
+        let output = Session::new()
+            .with_rpu(
+                RpuConfig::ciflow_streaming()
+                    .with_bandwidth(128.0)
+                    .with_memory_channels(channels),
+            )
+            .run_workload(
+                workload.clone(),
+                Dataflow::OutputCentric,
+                PipelineMode::Fused,
+            )?;
+        // The monotonicity of this curve is enforced by
+        // `tests/memory_channels.rs`; the example only reports it.
+        println!(
+            "  {channels} channel(s): {:6.2} ms, compute idle {:4.1}%, channel imbalance {:.2}",
+            output.runtime_ms(),
+            100.0 * output.stats.compute_idle_fraction(),
+            output.stats.memory_channel_imbalance(),
+        );
+    }
     Ok(())
 }

@@ -99,6 +99,7 @@ impl ScheduleStrategy for Deadlocking {
                 dependencies: vec![1],
                 label: "stuck compute".into(),
                 stage: "ModUp-P1".into(),
+                channel: None,
             },
             rpu::Task {
                 id: 1,
@@ -109,6 +110,7 @@ impl ScheduleStrategy for Deadlocking {
                 dependencies: vec![0],
                 label: "stuck load".into(),
                 stage: "ModUp-P1".into(),
+                channel: None,
             },
         ];
         let graph = TaskGraph::from_tasks(tasks)?;
