@@ -9,6 +9,12 @@
 //! ARK where the fusion layer's cross-kernel prefetch moves the next
 //! kernel's key material under the current kernel's compute.
 //!
+//! A rescaling-chain section then makes the pipeline *heterogeneous*: each
+//! kernel of a multiply-relinearize-rescale chain runs at its own descending
+//! ℓ (the modulus chain drains one prime per level), and the fusion layer
+//! forwards only the towers surviving into each smaller basis — the
+//! fused-vs-back-to-back comparison as ℓ decays.
+//!
 //! The final section sweeps the memory-channel count (1/2/4/8 pseudo-channels
 //! sharing the same aggregate bandwidth): channel-aware placement pins evk
 //! towers away from limb traffic, so a fused pipeline's cross-kernel evk
@@ -20,11 +26,14 @@ use ciflow::api::{Job, JobOutput, Session};
 use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
 use ciflow::report::markdown_table;
-use ciflow::sweep::{try_channel_sweep, BANDWIDTH_LADDER, CHANNEL_LADDER};
+use ciflow::sweep::{try_channel_sweep, try_heterogeneous_sweep, BANDWIDTH_LADDER, CHANNEL_LADDER};
 use ciflow::workload::{PipelineMode, Workload};
 use rpu::{EvkPolicy, RpuConfig};
 
 const ROTATIONS: usize = 8;
+
+/// Depth of the rescaling chains reported in the heterogeneous section.
+const RESCALE_LEVELS: usize = 6;
 
 /// Bandwidths reported in the channel-count sweep: DDR4 through HBM2-class.
 const CHANNEL_SWEEP_BANDWIDTHS: [f64; 4] = [12.8, 25.6, 64.0, 128.0];
@@ -91,6 +100,60 @@ fn render(benchmark: HksBenchmark, evk_policy: EvkPolicy) {
     }
 }
 
+/// Renders the heterogeneous rescaling-chain section for one benchmark: a
+/// chain of `RESCALE_LEVELS` multiply-relinearize-rescale kernels at
+/// descending ℓ, fused vs back-to-back per strategy across the Figure-4
+/// ladder. Forwarding shrinks with ℓ (only surviving towers are forwarded),
+/// so the fused advantage is the whole-program analogue of the single-kernel
+/// ladder above.
+fn render_rescaling_chain(benchmark: HksBenchmark, evk_policy: EvkPolicy) {
+    let chain = Workload::rescaling_chain(benchmark, RESCALE_LEVELS);
+    let ladder: Vec<String> = chain
+        .kernel_benchmarks()
+        .iter()
+        .map(|b| b.q_towers.to_string())
+        .collect();
+    for dataflow in Dataflow::all() {
+        let sweep = try_heterogeneous_sweep(&chain, dataflow, &BANDWIDTH_LADDER, evk_policy)
+            .expect("built-in pipelines are infallible");
+        ciflow_bench::section(&format!(
+            "Rescaling chain: {} ℓ={} , {dataflow} ({evk_policy})",
+            benchmark.name,
+            ladder.join("->")
+        ));
+        let rows: Vec<Vec<String>> = sweep
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{}", p.bandwidth_gbps),
+                    format!("{:.2}", p.back_to_back_ms),
+                    format!("{:.2}", p.fused_ms),
+                    format!("{:.2}x", p.back_to_back_ms / p.fused_ms),
+                    format!("{:.1}%", 100.0 * p.back_to_back_idle),
+                    format!("{:.1}%", 100.0 * p.fused_idle),
+                    format!("{:.0}", p.forwarded_bytes as f64 / rpu::MIB as f64),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            markdown_table(
+                &[
+                    "BW (GB/s)",
+                    "unfused (ms)",
+                    "fused (ms)",
+                    "speedup",
+                    "idle unfused",
+                    "idle fused",
+                    "fwd (MiB)",
+                ],
+                &rows,
+            )
+        );
+    }
+}
+
 /// Renders the memory-channel-count sweep for one benchmark: the fused
 /// 8-rotation pipeline with streamed evks, at each bandwidth, split over a
 /// growing number of pseudo-channels (the aggregate bandwidth never
@@ -144,6 +207,10 @@ fn main() {
     // towers under the current kernel's compute — the overlap the fusion
     // layer exists for.
     render(HksBenchmark::ARK, EvkPolicy::Streamed);
+    // Heterogeneous chains: ℓ decays one tower per multiply-rescale level,
+    // and the fusion layer forwards only the surviving towers per boundary.
+    render_rescaling_chain(HksBenchmark::ARK, EvkPolicy::OnChip);
+    render_rescaling_chain(HksBenchmark::DPRIVE, EvkPolicy::Streamed);
     // Splitting the memory queue into pseudo-channels lets that prefetch
     // bypass the head-of-line writebacks entirely.
     render_channel_sweep(HksBenchmark::ARK);

@@ -165,8 +165,17 @@ pub struct JobOutput {
     /// The schedule that was executed.
     pub schedule: Schedule,
     /// Number of HKS kernel invocations the schedule covered (1 for a plain
-    /// job, the pipeline length for a workload job).
+    /// job, the pipeline length for a workload job). Always equals
+    /// `kernel_benchmarks.len()`.
     pub kernels: usize,
+    /// The parameter point of each kernel invocation, in execution order —
+    /// the per-kernel shape ladder of a heterogeneous pipeline (a plain job
+    /// reports its single benchmark; a homogeneous workload repeats one).
+    pub kernel_benchmarks: Vec<HksBenchmark>,
+    /// DRAM traffic the fusion layer eliminated by forwarding the chained
+    /// polynomial on-chip, in bytes (0 for plain jobs and back-to-back
+    /// pipelines).
+    pub forwarded_bytes: u64,
 }
 
 impl JobOutput {
@@ -377,7 +386,7 @@ impl Session {
             data_memory_bytes: rpu.vector_memory_bytes,
             evk_policy: rpu.evk_policy,
         };
-        let (schedule, kernels) = match &job.workload {
+        let (schedule, kernels, kernel_benchmarks, forwarded_bytes) = match &job.workload {
             Some(spec) => {
                 let pipeline = build_workload(
                     &spec.workload,
@@ -385,11 +394,21 @@ impl Session {
                     &schedule_config,
                     spec.mode,
                 )?;
-                (pipeline.schedule, pipeline.kernels)
+                (
+                    pipeline.schedule,
+                    pipeline.kernels,
+                    pipeline.kernel_benchmarks,
+                    pipeline.forwarded_bytes,
+                )
             }
             None => {
                 let shape = HksShape::new(job.benchmark);
-                (strategy.build(&shape, &schedule_config)?, 1)
+                (
+                    strategy.build(&shape, &schedule_config)?,
+                    1,
+                    vec![job.benchmark],
+                    0,
+                )
             }
         };
         // Channel-aware placement: the schedule's label-encoded channel
@@ -406,6 +425,8 @@ impl Session {
             trace: result.trace,
             schedule,
             kernels,
+            kernel_benchmarks,
+            forwarded_bytes,
         })
     }
 
@@ -605,6 +626,12 @@ mod tests {
         assert_eq!(outputs[0].kernels, 1);
         assert_eq!(outputs[1].kernels, 4);
         assert_eq!(outputs[2].kernels, 4);
+        // Per-kernel shapes and forwarding are reported back.
+        assert_eq!(outputs[0].kernel_benchmarks, vec![HksBenchmark::ARK]);
+        assert_eq!(outputs[1].kernel_benchmarks, vec![HksBenchmark::ARK; 4]);
+        assert_eq!(outputs[0].forwarded_bytes, 0);
+        assert!(outputs[1].forwarded_bytes > 0, "fused ARK chain forwards");
+        assert_eq!(outputs[2].forwarded_bytes, 0, "back-to-back never forwards");
         // The fused pipeline beats back-to-back, and per-kernel amortized
         // runtime beats the standalone kernel.
         assert!(outputs[1].runtime_ms() < outputs[2].runtime_ms());

@@ -89,6 +89,31 @@ impl HksBenchmark {
             .find(|b| b.name.eq_ignore_ascii_case(name))
     }
 
+    /// A copy of this parameter point with the live tower count rescaled to
+    /// `q_towers` — the shape a ciphertext takes after `k_l − q_towers`
+    /// rescaling levels have been consumed. The ring degree and auxiliary
+    /// towers are unchanged; the digit count is clamped so no digit is left
+    /// entirely empty (`dnum ≤ ℓ`), mirroring how CKKS libraries shrink the
+    /// key-switch decomposition as the modulus chain drains. `q_towers` is
+    /// clamped to at least 1 (a ciphertext below level 0 does not exist).
+    ///
+    /// ```
+    /// use ciflow::HksBenchmark;
+    /// let rescaled = HksBenchmark::ARK.at_q_towers(20);
+    /// assert_eq!(rescaled.q_towers, 20);
+    /// assert_eq!(rescaled.p_towers, HksBenchmark::ARK.p_towers);
+    /// assert_eq!(rescaled.dnum, 4);
+    /// assert_eq!(HksBenchmark::ARK.at_q_towers(2).dnum, 2);
+    /// ```
+    pub fn at_q_towers(&self, q_towers: usize) -> Self {
+        let q_towers = q_towers.max(1);
+        Self {
+            q_towers,
+            dnum: self.dnum.min(q_towers),
+            ..*self
+        }
+    }
+
     /// Ring degree `N`.
     pub fn ring_degree(&self) -> usize {
         1usize << self.log_ring_degree

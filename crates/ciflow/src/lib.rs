@@ -32,6 +32,11 @@
 //!   (rotation batches, relinearizations, the bootstrapping key-switch
 //!   backbone) fused into one task graph so the memory queue prefetches the
 //!   next kernel's evk towers and limbs under the current kernel's compute.
+//!   Pipelines may be *heterogeneous*: every step can run at its own
+//!   parameter point (the [`Workload::rescaling_chain`] preset derives the
+//!   descending-ℓ ladder of a real rescaling program), with chaining,
+//!   partial forwarding and traffic accounting re-derived at every kernel
+//!   boundary.
 //! * [`runner`] / [`sweep`] — the legacy single-run wrapper and the
 //!   `Session`-powered bandwidth / MODOPS / evk-placement / workload sweeps
 //!   behind Figures 4–9 and Tables IV–V.
@@ -124,4 +129,6 @@ pub use error::CiflowError;
 pub use hks_shape::{HksShape, HksStage};
 pub use runner::{HksRun, HksRunResult};
 pub use schedule::{build_schedule, Schedule, ScheduleConfig};
-pub use workload::{build_workload, KernelStep, PipelineMode, Workload, WorkloadSchedule};
+pub use workload::{
+    build_workload, KernelStep, PipelineMode, Workload, WorkloadSchedule, WorkloadStep,
+};

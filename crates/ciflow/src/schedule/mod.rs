@@ -111,7 +111,11 @@ impl Schedule {
     /// Evk towers are pinned to their own contiguous channel group, sized
     /// proportionally to the share of DRAM traffic they move (at least one
     /// channel, never all of them), and every other buffer — input limbs,
-    /// outputs, spills — is hashed over the remaining channels. This keeps
+    /// outputs, spills — is hashed over the remaining channels. The shares
+    /// are computed from this schedule's whole task graph, so for a stitched
+    /// (possibly heterogeneous) pipeline the split reflects the *union* of
+    /// every kernel's traffic — one consistent placement even when the
+    /// evk-vs-limb ratio changes as a rescaling chain's ℓ decays. This keeps
     /// the channels load-balanced under both evk policies while guaranteeing
     /// that cross-kernel evk prefetch in a fused pipeline never queues
     /// behind the current kernel's limb traffic. With one channel (or no

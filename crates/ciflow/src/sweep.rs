@@ -217,6 +217,112 @@ pub fn try_workload_sweep_in(
     )
 }
 
+/// One point of a heterogeneous-pipeline sweep: the same (typically
+/// rescaling) chain at one bandwidth, fused vs back-to-back.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct HeterogeneousSweepPoint {
+    /// Off-chip bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Fused pipeline runtime in milliseconds.
+    pub fused_ms: f64,
+    /// Back-to-back baseline runtime in milliseconds.
+    pub back_to_back_ms: f64,
+    /// Compute-idle fraction of the fused run.
+    pub fused_idle: f64,
+    /// Compute-idle fraction of the back-to-back run.
+    pub back_to_back_idle: f64,
+    /// DRAM bytes the fused pipeline eliminated by on-chip forwarding
+    /// (always `back_to_back` traffic minus `fused` traffic).
+    pub forwarded_bytes: u64,
+}
+
+/// A fused-vs-back-to-back sweep of one heterogeneous workload across a
+/// bandwidth ladder, plus the per-kernel tower ladder the chain runs at.
+#[derive(Debug, Clone, Serialize)]
+pub struct HeterogeneousSweep {
+    /// The workload's name.
+    pub workload: String,
+    /// Strategy short name.
+    pub dataflow: String,
+    /// Live tower count ℓ of each kernel invocation, in execution order —
+    /// the descending ladder of a rescaling chain.
+    pub kernel_towers: Vec<usize>,
+    /// The sampled points, in the bandwidth order given.
+    pub points: Vec<HeterogeneousSweepPoint>,
+}
+
+/// Runs a heterogeneous [`Workload`] pipeline (per-step parameter points,
+/// e.g. [`Workload::rescaling_chain`]) across a bandwidth ladder, fused and
+/// back-to-back, as one parallel batch. Strategy names resolve against the
+/// built-in registry — use [`try_heterogeneous_sweep_in`] for custom
+/// registries.
+///
+/// # Errors
+///
+/// Returns the first failing point's [`CiflowError`] — including
+/// [`CiflowError::InvalidConfig`] for a workload with no kernel
+/// invocations.
+pub fn try_heterogeneous_sweep(
+    workload: &Workload,
+    strategy: impl Into<StrategySpec>,
+    bandwidths: &[f64],
+    evk_policy: EvkPolicy,
+) -> Result<HeterogeneousSweep, CiflowError> {
+    try_heterogeneous_sweep_in(&Session::new(), workload, strategy, bandwidths, evk_policy)
+}
+
+/// [`try_heterogeneous_sweep`] resolving strategy names through `session`'s
+/// registry. Only the registry is taken from `session`; each point runs on
+/// the paper's RPU for `evk_policy` at its own bandwidth.
+///
+/// # Errors
+///
+/// Returns the first failing point's [`CiflowError`].
+pub fn try_heterogeneous_sweep_in(
+    session: &Session,
+    workload: &Workload,
+    strategy: impl Into<StrategySpec>,
+    bandwidths: &[f64],
+    evk_policy: EvkPolicy,
+) -> Result<HeterogeneousSweep, CiflowError> {
+    let spec: StrategySpec = strategy.into();
+    let sweep_session = Session::new()
+        .with_registry(session.registry().clone())
+        .jobs(bandwidths.iter().flat_map(|&bw| {
+            [PipelineMode::BackToBack, PipelineMode::Fused].map(|mode| {
+                Job::workload(workload.clone(), spec.clone(), mode)
+                    .with_rpu(sweep_rpu(evk_policy, bw, 1.0))
+            })
+        }));
+    let outputs = sweep_session.run().into_outputs()?;
+    let dataflow = outputs
+        .first()
+        .map(|o| o.strategy.clone())
+        .unwrap_or_else(|| spec.display_name());
+    let kernel_towers = outputs
+        .first()
+        .map(|o| o.kernel_benchmarks.iter().map(|b| b.q_towers).collect())
+        .unwrap_or_default();
+    let points = bandwidths
+        .iter()
+        .zip(outputs.chunks_exact(2))
+        .map(|(&bw, pair)| HeterogeneousSweepPoint {
+            bandwidth_gbps: bw,
+            fused_ms: pair[1].runtime_ms(),
+            back_to_back_ms: pair[0].runtime_ms(),
+            fused_idle: pair[1].stats.compute_idle_fraction(),
+            back_to_back_idle: pair[0].stats.compute_idle_fraction(),
+            forwarded_bytes: pair[1].forwarded_bytes,
+        })
+        .collect();
+    Ok(HeterogeneousSweep {
+        workload: workload.name.clone(),
+        dataflow,
+        kernel_towers,
+        points,
+    })
+}
+
 /// One point of a memory-channel-count sweep: the same workload pipeline on
 /// the same aggregate bandwidth, split over a growing number of in-order
 /// pseudo-channels.
@@ -713,6 +819,31 @@ mod tests {
         for (f, u) in fused.points.iter().zip(&unfused.points) {
             assert!(f.runtime_ms <= u.runtime_ms, "at {} GB/s", f.bandwidth_gbps);
         }
+    }
+
+    #[test]
+    fn heterogeneous_sweep_reports_the_ladder_and_forwarding() {
+        let chain = Workload::rescaling_chain(HksBenchmark::ARK, 3);
+        let sweep = try_heterogeneous_sweep(
+            &chain,
+            Dataflow::OutputCentric,
+            &[8.0, 16.0],
+            EvkPolicy::OnChip,
+        )
+        .unwrap();
+        assert_eq!(sweep.kernel_towers, vec![24, 23, 22]);
+        assert_eq!(sweep.dataflow, "OC");
+        assert_eq!(sweep.points.len(), 2);
+        for point in &sweep.points {
+            assert!(point.fused_ms <= point.back_to_back_ms * 1.0001);
+            assert!(point.forwarded_bytes > 0, "ARK chains fit on-chip");
+        }
+        // An empty workload surfaces the typed error instead of a panic.
+        let empty = Workload::new("empty", HksBenchmark::ARK);
+        assert!(matches!(
+            try_heterogeneous_sweep(&empty, Dataflow::OutputCentric, &[8.0], EvkPolicy::OnChip),
+            Err(crate::error::CiflowError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

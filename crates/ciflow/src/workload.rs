@@ -6,10 +6,21 @@
 //! matters most in real CKKS programs where many key switches chain
 //! back-to-back: rotation batches, relinearize+rescale sequences, the
 //! key-switch backbone of bootstrapping. A [`Workload`] describes such a
-//! sequence of kernel steps over one Table III parameter point;
-//! [`build_workload`] turns it into a single fused task graph by stitching
-//! per-kernel schedules together with
+//! sequence of kernel steps; [`build_workload`] turns it into a single fused
+//! task graph by stitching per-kernel schedules together with
 //! [`TaskGraph::append_offset`](rpu::TaskGraph::append_offset).
+//!
+//! Workloads may be **heterogeneous**: every step can carry its own
+//! [`HksBenchmark`] parameter point (defaulting to the workload's), because
+//! real CKKS programs *rescale* between kernels — each multiply-rescale level
+//! drops one prime from the modulus chain, so the live tower count ℓ shrinks
+//! as the chain progresses. The [`Workload::rescaling_chain`] preset derives
+//! exactly that descending-ℓ ladder from a starting point, and
+//! [`build_workload`] re-derives the chaining at *every* kernel boundary:
+//! only the towers that survive into the consumer's (smaller) basis are
+//! forwarded or loaded, the rest keep their ordinary output stores, and
+//! forwarding eligibility plus the elided traffic are recomputed per boundary
+//! instead of assuming one shared kernel template.
 //!
 //! Two pipeline modes are compared:
 //!
@@ -75,6 +86,28 @@ impl KernelStep {
     }
 }
 
+/// One entry of a workload: a [`KernelStep`] plus the parameter point it runs
+/// at (`None` means the workload's default benchmark).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WorkloadStep {
+    /// What the step does.
+    pub step: KernelStep,
+    /// The step's own parameter point, or `None` to inherit the workload's.
+    pub benchmark: Option<HksBenchmark>,
+}
+
+impl WorkloadStep {
+    /// The parameter point this step runs at, given the workload default.
+    pub fn benchmark_or(&self, default: HksBenchmark) -> HksBenchmark {
+        self.benchmark.unwrap_or(default)
+    }
+
+    /// Number of HKS kernel invocations this step expands to.
+    pub fn hks_count(&self) -> usize {
+        self.step.hks_count()
+    }
+}
+
 /// How the kernels of a workload are scheduled relative to each other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub enum PipelineMode {
@@ -97,20 +130,23 @@ impl std::fmt::Display for PipelineMode {
     }
 }
 
-/// A named sequence of kernel steps over one benchmark parameter point.
+/// A named sequence of kernel steps, each at its own (or the default)
+/// benchmark parameter point.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Workload {
     /// Human-readable workload name (used in job labels and reports).
     pub name: String,
-    /// The Table III parameter point every kernel runs at.
+    /// The default Table III parameter point a step runs at unless it carries
+    /// its own (see [`Workload::step_at`]).
     pub benchmark: HksBenchmark,
-    steps: Vec<KernelStep>,
+    steps: Vec<WorkloadStep>,
 }
 
 impl Workload {
-    /// An empty workload; add steps with [`Workload::step`]. A workload with
-    /// no steps is rejected by [`build_workload`] — every pipeline must
-    /// contain at least one kernel invocation.
+    /// An empty workload; add steps with [`Workload::step`] or
+    /// [`Workload::step_at`]. A workload with no kernel invocations is
+    /// rejected by [`build_workload`] — every pipeline must contain at least
+    /// one kernel.
     ///
     /// ```
     /// use ciflow::{HksBenchmark, KernelStep, Workload};
@@ -128,15 +164,42 @@ impl Workload {
         }
     }
 
-    /// Appends one step (builder style; see [`Workload::new`] for an
-    /// example).
+    /// Appends one step at the workload's default parameter point (builder
+    /// style; see [`Workload::new`] for an example).
     pub fn step(mut self, step: KernelStep) -> Self {
-        self.steps.push(step);
+        self.steps.push(WorkloadStep {
+            step,
+            benchmark: None,
+        });
+        self
+    }
+
+    /// Appends one step at its own parameter point — how heterogeneous
+    /// pipelines (e.g. rescaling chains, where ℓ shrinks between kernels)
+    /// are described.
+    ///
+    /// ```
+    /// use ciflow::{HksBenchmark, KernelStep, Workload};
+    /// let w = Workload::new("square-then-rotate", HksBenchmark::ARK)
+    ///     .step(KernelStep::Relinearize)
+    ///     .step_at(
+    ///         KernelStep::RotationBatch { count: 2 },
+    ///         HksBenchmark::ARK.at_q_towers(23),
+    ///     );
+    /// assert_eq!(w.kernel_benchmarks().iter().map(|b| b.q_towers).collect::<Vec<_>>(),
+    ///            vec![24, 23, 23]);
+    /// assert!(w.is_heterogeneous());
+    /// ```
+    pub fn step_at(mut self, step: KernelStep, benchmark: HksBenchmark) -> Self {
+        self.steps.push(WorkloadStep {
+            step,
+            benchmark: Some(benchmark),
+        });
         self
     }
 
     /// The steps in execution order.
-    pub fn steps(&self) -> &[KernelStep] {
+    pub fn steps(&self) -> &[WorkloadStep] {
         &self.steps
     }
 
@@ -145,7 +208,26 @@ impl Workload {
     /// value reported back as
     /// [`JobOutput::kernels`](crate::api::JobOutput::kernels) after a run.
     pub fn hks_invocations(&self) -> usize {
-        self.steps.iter().map(KernelStep::hks_count).sum()
+        self.steps.iter().map(WorkloadStep::hks_count).sum()
+    }
+
+    /// The parameter point of every kernel invocation, in execution order
+    /// (each step expanded by its [`KernelStep::hks_count`]). This is the
+    /// per-kernel shape ladder reported back as
+    /// [`JobOutput::kernel_benchmarks`](crate::api::JobOutput::kernel_benchmarks).
+    pub fn kernel_benchmarks(&self) -> Vec<HksBenchmark> {
+        self.steps
+            .iter()
+            .flat_map(|s| std::iter::repeat_n(s.benchmark_or(self.benchmark), s.hks_count()))
+            .collect()
+    }
+
+    /// True if any step runs at a parameter point different from the
+    /// workload's default.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| s.benchmark.is_some_and(|b| b != self.benchmark))
     }
 
     /// Preset: a batch of `count` chained rotations.
@@ -181,6 +263,30 @@ impl Workload {
             .step(KernelStep::RotationBatch { count: 6 })
             .step(KernelStep::Relinearize)
     }
+
+    /// Preset: a chain of `levels` multiply-relinearize-rescale steps at
+    /// descending ℓ — the whole-program shape of evaluating a degree-`levels`
+    /// polynomial. Step `i` runs at
+    /// [`at_q_towers(ℓ₀ − i)`](HksBenchmark::at_q_towers) of the starting
+    /// point, so the working set shrinks one tower per level exactly as the
+    /// modulus chain drains (clamped at ℓ = 1 for chains deeper than the
+    /// starting level budget).
+    ///
+    /// ```
+    /// use ciflow::{HksBenchmark, Workload};
+    /// let w = Workload::rescaling_chain(HksBenchmark::ARK, 4);
+    /// assert_eq!(w.kernel_benchmarks().iter().map(|b| b.q_towers).collect::<Vec<_>>(),
+    ///            vec![24, 23, 22, 21]);
+    /// assert!(w.is_heterogeneous());
+    /// ```
+    pub fn rescaling_chain(benchmark: HksBenchmark, levels: usize) -> Self {
+        let mut workload = Self::new(format!("rescale{levels}-{}", benchmark.name), benchmark);
+        for i in 0..levels {
+            let point = benchmark.at_q_towers(benchmark.q_towers.saturating_sub(i));
+            workload = workload.step_at(KernelStep::Relinearize, point);
+        }
+        workload
+    }
 }
 
 impl std::fmt::Display for Workload {
@@ -199,11 +305,12 @@ impl std::fmt::Display for Workload {
 /// metadata.
 ///
 /// The stitched [`schedule`](Self::schedule) carries the channel hints of
-/// its per-kernel template: task labels keep their canonical buffer names
+/// its per-kernel templates: task labels keep their canonical buffer names
 /// (with a `k<i>:` kernel prefix), so
 /// [`Schedule::channel_map`] places evk prefetch
 /// and limb writebacks on disjoint memory channels for any channel count —
-/// the cross-kernel overlap the multi-channel memory model exists for.
+/// derived from the union of every step's traffic, since heterogeneous steps
+/// contribute different evk-vs-limb shares.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSchedule {
     /// The stitched schedule: one task graph covering every kernel.
@@ -211,13 +318,22 @@ pub struct WorkloadSchedule {
     /// Number of HKS kernel invocations in the pipeline. Always equals the
     /// workload's [`Workload::hks_invocations`].
     pub kernels: usize,
+    /// The parameter point of each kernel invocation, in execution order
+    /// (always equals the workload's [`Workload::kernel_benchmarks`]).
+    pub kernel_benchmarks: Vec<HksBenchmark>,
     /// The pipeline mode the graph was stitched under.
     pub mode: PipelineMode,
-    /// DRAM traffic eliminated by on-chip forwarding, in bytes (0 when
-    /// unfused or when the chained polynomial does not fit on-chip).
-    /// Invariant: `kernels * template_bytes - forwarded_bytes` equals the
-    /// stitched graph's total DRAM traffic.
+    /// Total DRAM traffic eliminated by on-chip forwarding, in bytes (0 when
+    /// unfused or when no boundary's chained polynomial fits on-chip).
+    /// Always the sum of [`boundary_forwarded_bytes`](Self::boundary_forwarded_bytes),
+    /// and always equal to the sum of the per-kernel template traffic minus
+    /// the stitched graph's total DRAM traffic.
     pub forwarded_bytes: u64,
+    /// DRAM traffic eliminated at each kernel boundary (`kernels − 1`
+    /// entries; entry `i` covers the boundary between kernel `i` and kernel
+    /// `i+1`). At a rescaling boundary only the towers surviving into the
+    /// consumer's smaller basis are forwarded, so entries shrink as ℓ decays.
+    pub boundary_forwarded_bytes: Vec<u64>,
 }
 
 /// The dependencies one kernel exposes to its successor.
@@ -227,6 +343,56 @@ struct Boundary {
     /// Per output tower: the tasks standing for `store out1[t]` (the store
     /// itself, or — when elided — the compute task producing the tower).
     forward: HashMap<usize, Vec<TaskId>>,
+}
+
+/// One kernel's schedule template plus the boundary structure derived from
+/// it. Built once per distinct parameter point of the workload.
+struct KernelTemplate {
+    shape: HksShape,
+    schedule: Schedule,
+    /// The template graph's sinks.
+    terminals: Vec<TaskId>,
+    /// Per output tower: the template's `store out1[t]` task.
+    forward_stores: HashMap<usize, TaskId>,
+    /// Number of `load in[t]` tasks in the template.
+    input_loads: usize,
+}
+
+impl KernelTemplate {
+    fn build(
+        benchmark: HksBenchmark,
+        strategy: &dyn ScheduleStrategy,
+        config: &ScheduleConfig,
+    ) -> Result<Self, CiflowError> {
+        let shape = HksShape::new(benchmark);
+        let schedule = strategy.build(&shape, config)?;
+        let terminals = schedule.graph.terminal_tasks();
+        let forward_stores = schedule
+            .graph
+            .tasks()
+            .iter()
+            .filter_map(|t| forwarded_store_tower(t).map(|tower| (tower, t.id)))
+            .collect();
+        let input_loads = schedule
+            .graph
+            .tasks()
+            .iter()
+            .filter(|t| is_input_load(t))
+            .count();
+        Ok(Self {
+            shape,
+            schedule,
+            terminals,
+            forward_stores,
+            input_loads,
+        })
+    }
+
+    /// Buffer-granular stitching needs the canonical input-load labels; a
+    /// strategy without them chains through a conservative barrier instead.
+    fn has_canonical_inputs(&self) -> bool {
+        self.input_loads > 0
+    }
 }
 
 /// Parses the tower index out of a canonical buffer label such as
@@ -249,28 +415,69 @@ fn forwarded_store_tower(task: &Task) -> Option<usize> {
     }
 }
 
+/// Decides whether the chained polynomial can be forwarded on-chip across
+/// the boundary from `producer` to `consumer`.
+///
+/// On-chip forwarding requires the producer's canonical per-tower output
+/// stores, the consumer's canonical input loads, and a chained polynomial no
+/// larger than half the data memory. Forwarding is capacity-neutral relative
+/// to the per-kernel residency the tracker already accounts for: the
+/// producing kernel pins each surviving `out1[t]` tower in the slots freed by
+/// the very combine that releases `acc0[t]`/`acc1[t]`, and the consuming
+/// kernel's working set charges `in[]` regardless of whether it arrives by
+/// DRAM load or by forwarding. The half-capacity bound keeps the boundary
+/// overlap (producer's ModDown tail running concurrently with the consumer's
+/// ModUp ramp) within the configured memory — measured against the
+/// *consumer's* input polynomial, which at a rescaling boundary is the
+/// smaller of the two and exactly what stays resident.
+///
+/// Forwarding also requires exactly one load per consumer input tower: a
+/// template with capacity-pressure *reloads* of `in[t]` re-reads data it
+/// evicted mid-kernel, and under forwarding that DRAM copy would not exist —
+/// such kernels chain through their stores instead. Finally, the consumer's
+/// basis must be a prefix of the producer's output (`ℓ_c ≤ ℓ_p`, equal tower
+/// sizes): a rescaling boundary drops trailing towers, it never invents new
+/// ones, and towers of different ring degrees are not interchangeable.
+fn forwarding_eligible(
+    producer: &KernelTemplate,
+    consumer: &KernelTemplate,
+    config: &ScheduleConfig,
+) -> bool {
+    consumer.input_loads == consumer.shape.ell()
+        && producer.forward_stores.len() == producer.shape.ell()
+        && consumer.shape.ell() <= producer.shape.ell()
+        && consumer.shape.tower_bytes() == producer.shape.tower_bytes()
+        && 2 * consumer.shape.input_bytes() <= config.data_memory_bytes
+}
+
 /// Builds the pipeline schedule for a workload under one strategy.
 ///
-/// Every kernel invocation uses the schedule the strategy generates for the
-/// workload's benchmark; kernel *i+1*'s input is kernel *i*'s second output
-/// polynomial (the key-switched component a rotation or relinearization
-/// chains on). In [`PipelineMode::Fused`] mode the graphs are stitched at
-/// buffer granularity; in [`PipelineMode::BackToBack`] mode a barrier
+/// Every kernel invocation uses the schedule the strategy generates for its
+/// step's benchmark (the workload's default unless the step carries its
+/// own); kernel *i+1*'s input is kernel *i*'s second output polynomial (the
+/// key-switched component a rotation or relinearization chains on). In
+/// [`PipelineMode::Fused`] mode the graphs are stitched at buffer
+/// granularity, with chaining re-derived at every boundary — at a rescaling
+/// boundary where the consumer runs at a smaller ℓ, only the surviving
+/// towers are forwarded or chained, and the dropped towers keep their
+/// ordinary output stores. In [`PipelineMode::BackToBack`] mode a barrier
 /// separates consecutive kernels.
 ///
 /// # Errors
 ///
 /// Returns [`CiflowError::InvalidConfig`] for a workload with zero kernel
-/// invocations, propagates the strategy's build error, and reports
-/// [`CiflowError::Graph`] if stitching produces an inconsistent graph (a
-/// fusion-layer bug).
+/// invocations (no steps, or steps that expand to nothing such as
+/// `RotationBatch { count: 0 }`), propagates the strategy's build error, and
+/// reports [`CiflowError::Graph`] if stitching produces an inconsistent
+/// graph (a fusion-layer bug).
 pub fn build_workload(
     workload: &Workload,
     strategy: &dyn ScheduleStrategy,
     config: &ScheduleConfig,
     mode: PipelineMode,
 ) -> Result<WorkloadSchedule, CiflowError> {
-    let kernels = workload.hks_invocations();
+    let kernel_benchmarks = workload.kernel_benchmarks();
+    let kernels = kernel_benchmarks.len();
     if kernels == 0 {
         return Err(CiflowError::InvalidConfig {
             message: format!(
@@ -279,56 +486,52 @@ pub fn build_workload(
             ),
         });
     }
-    let shape = HksShape::new(workload.benchmark);
-    let kernel = strategy.build(&shape, config)?;
 
-    // Per-kernel boundary structure, computed once on the template graph.
-    let kernel_terminals = kernel.graph.terminal_tasks();
-    let forward_stores: HashMap<usize, TaskId> = kernel
-        .graph
-        .tasks()
-        .iter()
-        .filter_map(|t| forwarded_store_tower(t).map(|tower| (tower, t.id)))
+    // One template per distinct parameter point (a homogeneous pipeline
+    // builds exactly one, like the old single-template path).
+    let mut templates: HashMap<HksBenchmark, KernelTemplate> = HashMap::new();
+    for &benchmark in &kernel_benchmarks {
+        if let std::collections::hash_map::Entry::Vacant(slot) = templates.entry(benchmark) {
+            slot.insert(KernelTemplate::build(benchmark, strategy, config)?);
+        }
+    }
+    let template_of = |i: usize| &templates[&kernel_benchmarks[i]];
+
+    // Forwarding eligibility, re-derived per boundary: producer i, consumer
+    // i+1.
+    let forwarding_at: Vec<bool> = (0..kernels.saturating_sub(1))
+        .map(|i| {
+            mode == PipelineMode::Fused
+                && forwarding_eligible(template_of(i), template_of(i + 1), config)
+        })
         .collect();
-    // Buffer-granular stitching needs the canonical input-load labels; a
-    // strategy without them chains through a conservative barrier instead.
-    let input_loads = kernel
-        .graph
-        .tasks()
-        .iter()
-        .filter(|t| is_input_load(t))
-        .count();
-    let canonical = input_loads > 0;
-    // On-chip forwarding requires the canonical per-tower output stores and a
-    // chained polynomial no larger than half the data memory. Forwarding is
-    // capacity-neutral relative to the per-kernel residency the tracker
-    // already accounts for: the producing kernel pins each `out1[t]` tower in
-    // the slots freed by the very combine that releases `acc0[t]`/`acc1[t]`,
-    // and the consuming kernel's working set charges `in[]` regardless of
-    // whether it arrives by DRAM load or by forwarding. The half-capacity
-    // bound keeps the boundary overlap (producer's ModDown tail running
-    // concurrently with the consumer's ModUp ramp) within the configured
-    // memory. Forwarding also requires exactly one load per input tower: a
-    // template with capacity-pressure *reloads* of `in[t]` re-reads data it
-    // evicted mid-kernel, and under forwarding that DRAM copy would not
-    // exist — such kernels chain through their stores instead.
-    let forwarding = mode == PipelineMode::Fused
-        && canonical
-        && input_loads == shape.ell()
-        && forward_stores.len() == shape.ell()
-        && 2 * shape.input_bytes() <= config.data_memory_bytes;
 
     let mut graph = TaskGraph::new();
     let mut prev: Option<Boundary> = None;
+    let mut boundary_forwarded_bytes = vec![0u64; kernels.saturating_sub(1)];
     for i in 0..kernels {
-        let last = i + 1 == kernels;
+        let tpl = template_of(i);
         let prefix = if kernels == 1 {
             String::new()
         } else {
             format!("k{i}:")
         };
+        let inbound_forwarding = i > 0 && forwarding_at[i - 1];
+        let outbound_forwarding = i + 1 < kernels && forwarding_at[i];
+        // The towers that survive into the next kernel's (possibly smaller)
+        // basis; everything above keeps its ordinary output store.
+        let surviving = if outbound_forwarding {
+            template_of(i + 1).shape.ell()
+        } else {
+            0
+        };
+        let canonical = tpl.has_canonical_inputs();
+        // Bytes elided at this kernel's inbound/outbound boundary, counted
+        // off the actual spliced tasks.
+        let mut inbound_elided = 0u64;
+        let mut outbound_elided = 0u64;
         let appended = graph
-            .append_offset(&kernel.graph, &prefix, |task| {
+            .append_offset(&tpl.schedule.graph, &prefix, |task| {
                 if let Some(boundary) = &prev {
                     if mode == PipelineMode::BackToBack || !canonical {
                         if task.dependencies.is_empty() {
@@ -339,13 +542,14 @@ pub fn build_workload(
                     } else if is_input_load(task) {
                         // The chained input: forwarded on-chip, or loaded
                         // after the producing kernel's store, or (for
-                        // non-canonical strategies) barriered.
+                        // non-canonical producers) chained on its terminals.
                         let tower = tower_index(&task.label, "load in[");
                         let producers = tower
                             .and_then(|t| boundary.forward.get(&t))
                             .unwrap_or(&boundary.terminals)
                             .clone();
-                        return if forwarding {
+                        return if inbound_forwarding {
+                            inbound_elided += task.bytes();
                             AppendAction::Splice {
                                 extra_deps: producers,
                             }
@@ -356,19 +560,31 @@ pub fn build_workload(
                         };
                     }
                 }
-                if forwarding && !last && forwarded_store_tower(task).is_some() {
-                    // The chained polynomial never round-trips through DRAM:
-                    // elide its store, consumers chain on its producer.
-                    return AppendAction::Splice {
-                        extra_deps: Vec::new(),
-                    };
+                if let Some(t) = forwarded_store_tower(task) {
+                    if t < surviving {
+                        // The chained polynomial never round-trips through
+                        // DRAM: elide its store, consumers chain on its
+                        // producer. Towers at or above `surviving` are
+                        // dropped by the boundary rescale and store normally.
+                        outbound_elided += task.bytes();
+                        return AppendAction::Splice {
+                            extra_deps: Vec::new(),
+                        };
+                    }
                 }
                 AppendAction::keep()
             })
             .map_err(CiflowError::Graph)?;
+        if i > 0 {
+            boundary_forwarded_bytes[i - 1] += inbound_elided;
+        }
+        if i + 1 < kernels {
+            boundary_forwarded_bytes[i] += outbound_elided;
+        }
 
         let terminals: Vec<TaskId> = {
-            let mut ids: Vec<TaskId> = kernel_terminals
+            let mut ids: Vec<TaskId> = tpl
+                .terminals
                 .iter()
                 .flat_map(|&old| appended.resolve(old).iter().copied())
                 .collect();
@@ -376,31 +592,55 @@ pub fn build_workload(
             ids.dedup();
             ids
         };
-        let forward = forward_stores
+        let forward = tpl
+            .forward_stores
             .iter()
             .map(|(&tower, &old)| (tower, appended.resolve(old).to_vec()))
             .collect();
         prev = Some(Boundary { terminals, forward });
     }
 
-    let (kernel_loaded, kernel_stored) = kernel.graph.total_bytes();
+    // Accumulated per boundary, never derived by one big subtraction: with
+    // heterogeneous templates the per-kernel traffic varies, and
+    // `kernels * template_bytes − actual` would underflow. The invariant
+    // still holds and is checked: the per-kernel template traffic minus the
+    // stitched traffic is exactly the forwarded total.
+    let forwarded_bytes: u64 = boundary_forwarded_bytes.iter().sum();
+    let mut template_traffic = 0u64;
+    let mut peak_on_chip_bytes = 0u64;
+    let mut spill_bytes = 0u64;
+    for &benchmark in &kernel_benchmarks {
+        let tpl = &templates[&benchmark];
+        let (loaded, stored) = tpl.schedule.graph.total_bytes();
+        template_traffic += loaded + stored;
+        // The pipeline's peak residency equals the largest per-kernel peak:
+        // the forwarded polynomial reuses space both adjacent kernels already
+        // account for (see `forwarding_eligible`), so it never pushes the
+        // pipeline past the capacity any kernel schedule was generated
+        // against.
+        peak_on_chip_bytes = peak_on_chip_bytes.max(tpl.schedule.peak_on_chip_bytes);
+        spill_bytes += tpl.schedule.spill_bytes;
+    }
     let (loaded, stored) = graph.total_bytes();
-    let forwarded_bytes = kernels as u64 * (kernel_loaded + kernel_stored) - (loaded + stored);
-    // The pipeline's peak residency equals the per-kernel peak: the forwarded
-    // polynomial reuses space both adjacent kernels already account for (see
-    // the forwarding-eligibility comment above), so it never pushes the
-    // pipeline past the capacity the kernel schedule was generated against.
-    let peak_on_chip_bytes = kernel.peak_on_chip_bytes;
+    debug_assert_eq!(
+        template_traffic,
+        loaded + stored + forwarded_bytes,
+        "per-boundary forwarding accounting diverged from the stitched graph"
+    );
+
+    let strategy_name = templates[&kernel_benchmarks[0]].schedule.strategy.clone();
     Ok(WorkloadSchedule {
         schedule: Schedule {
-            strategy: kernel.strategy.clone(),
+            strategy: strategy_name,
             graph,
             peak_on_chip_bytes,
-            spill_bytes: kernels as u64 * kernel.spill_bytes,
+            spill_bytes,
         },
         kernels,
+        kernel_benchmarks,
         mode,
         forwarded_bytes,
+        boundary_forwarded_bytes,
     })
 }
 
@@ -447,11 +687,34 @@ mod tests {
             Workload::bootstrap_key_switch(HksBenchmark::DPRIVE).hks_invocations(),
             14
         );
+        assert_eq!(
+            Workload::rescaling_chain(HksBenchmark::ARK, 5).hks_invocations(),
+            5
+        );
         let display = Workload::rotation_batch(HksBenchmark::ARK, 8).to_string();
         assert!(
             display.contains("ARK") && display.contains('8'),
             "{display}"
         );
+    }
+
+    #[test]
+    fn rescaling_chain_derives_a_descending_ladder() {
+        let chain = Workload::rescaling_chain(HksBenchmark::DPRIVE, 4);
+        let ells: Vec<usize> = chain
+            .kernel_benchmarks()
+            .iter()
+            .map(|b| b.q_towers)
+            .collect();
+        assert_eq!(ells, vec![26, 25, 24, 23]);
+        assert!(chain.is_heterogeneous());
+        assert!(!Workload::rotation_batch(HksBenchmark::ARK, 4).is_heterogeneous());
+        // A chain deeper than the level budget clamps at ℓ = 1 instead of
+        // deriving a nonsensical zero-tower point.
+        let deep = Workload::rescaling_chain(HksBenchmark::ARK, 30);
+        let last = *deep.kernel_benchmarks().last().unwrap();
+        assert_eq!(last.q_towers, 1);
+        assert!(last.dnum >= 1);
     }
 
     #[test]
@@ -461,6 +724,16 @@ mod tests {
             Dataflow::OutputCentric.strategy(),
             &config(EvkPolicy::OnChip),
             PipelineMode::Fused,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CiflowError::InvalidConfig { .. }));
+        // A workload whose only step expands to zero kernels is just as
+        // empty: no degenerate zero-task schedule may escape.
+        let err = build_workload(
+            &Workload::rotation_batch(HksBenchmark::ARK, 0),
+            Dataflow::OutputCentric.strategy(),
+            &config(EvkPolicy::OnChip),
+            PipelineMode::BackToBack,
         )
         .unwrap_err();
         assert!(matches!(err, CiflowError::InvalidConfig { .. }));
@@ -475,6 +748,29 @@ mod tests {
                 let ws = build(HksBenchmark::ARK, dataflow, EvkPolicy::Streamed, 5, mode);
                 assert_eq!(ws.kernels, 5);
                 assert_eq!(ws.schedule.total_ops(), 5 * shape.total_ops(), "{dataflow}");
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_pipelines_conserve_per_kernel_compute_work() {
+        let chain = Workload::rescaling_chain(HksBenchmark::ARK, 4);
+        let expected: u64 = chain
+            .kernel_benchmarks()
+            .iter()
+            .map(|&b| HksShape::new(b).total_ops())
+            .sum();
+        for mode in [PipelineMode::Fused, PipelineMode::BackToBack] {
+            for dataflow in Dataflow::all() {
+                let ws = build_workload(
+                    &chain,
+                    dataflow.strategy(),
+                    &config(EvkPolicy::Streamed),
+                    mode,
+                )
+                .unwrap();
+                assert_eq!(ws.schedule.total_ops(), expected, "{dataflow} {mode}");
+                assert_eq!(ws.kernel_benchmarks, chain.kernel_benchmarks());
             }
         }
     }
@@ -503,6 +799,7 @@ mod tests {
                     benchmark.name
                 );
                 assert_eq!(unfused.forwarded_bytes, 0);
+                assert!(unfused.boundary_forwarded_bytes.iter().all(|&b| b == 0));
             }
         }
     }
@@ -521,6 +818,10 @@ mod tests {
             PipelineMode::Fused,
         );
         assert_eq!(fused.forwarded_bytes, 3 * 2 * shape.input_bytes());
+        assert_eq!(
+            fused.boundary_forwarded_bytes,
+            vec![2 * shape.input_bytes(); 3]
+        );
         // BTS3's polynomial (45 MiB) cannot stay resident: nothing forwarded,
         // but the stitched dependencies still chain the kernels.
         let bts3 = build(
@@ -531,6 +832,72 @@ mod tests {
             PipelineMode::Fused,
         );
         assert_eq!(bts3.forwarded_bytes, 0);
+    }
+
+    #[test]
+    fn rescaling_boundary_forwards_only_the_surviving_towers() {
+        // At the boundary from ℓ_p to ℓ_c < ℓ_p, the consumer chains on (and
+        // the fused pipeline elides) exactly its own ℓ_c input towers; the
+        // producer's dropped towers keep their output stores.
+        let chain = Workload::rescaling_chain(HksBenchmark::ARK, 3);
+        let fused = build_workload(
+            &chain,
+            Dataflow::OutputCentric.strategy(),
+            &config(EvkPolicy::OnChip),
+            PipelineMode::Fused,
+        )
+        .unwrap();
+        let ells: Vec<u64> = chain
+            .kernel_benchmarks()
+            .iter()
+            .map(|b| b.q_towers as u64)
+            .collect();
+        let tower = HksBenchmark::ARK.tower_bytes();
+        // Boundary i elides one store + one load of the consumer's ℓ towers.
+        assert_eq!(
+            fused.boundary_forwarded_bytes,
+            vec![2 * ells[1] * tower, 2 * ells[2] * tower]
+        );
+        assert_eq!(
+            fused.forwarded_bytes,
+            fused.boundary_forwarded_bytes.iter().sum::<u64>()
+        );
+        // The traffic invariant against the unfused baseline.
+        let unfused = build_workload(
+            &chain,
+            Dataflow::OutputCentric.strategy(),
+            &config(EvkPolicy::OnChip),
+            PipelineMode::BackToBack,
+        )
+        .unwrap();
+        assert_eq!(
+            fused.schedule.dram_bytes() + fused.forwarded_bytes,
+            unfused.schedule.dram_bytes()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_back_to_back_does_not_underflow_forwarding_accounting() {
+        // Regression: the old accounting was a single unsigned subtraction
+        // `kernels * template_bytes − actual`, which underflowed (panicking
+        // in debug, absurd numbers in release) as soon as per-kernel traffic
+        // varied. An ascending chain makes every kernel's traffic differ.
+        let ascending = Workload::new("ascend", HksBenchmark::ARK.at_q_towers(20))
+            .step_at(KernelStep::KeySwitch, HksBenchmark::ARK.at_q_towers(20))
+            .step_at(KernelStep::KeySwitch, HksBenchmark::ARK.at_q_towers(22))
+            .step_at(KernelStep::KeySwitch, HksBenchmark::ARK);
+        for mode in [PipelineMode::Fused, PipelineMode::BackToBack] {
+            let ws = build_workload(
+                &ascending,
+                Dataflow::OutputCentric.strategy(),
+                &config(EvkPolicy::Streamed),
+                mode,
+            )
+            .unwrap();
+            // An ascending boundary cannot forward (the consumer needs towers
+            // the producer never had), so both modes move identical data.
+            assert_eq!(ws.forwarded_bytes, 0, "{mode}");
+        }
     }
 
     #[test]
@@ -597,6 +964,26 @@ mod tests {
                     let result = engine.execute(&ws.schedule.graph).unwrap();
                     assert!(result.stats.runtime_seconds > 0.0);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn rescaling_chains_execute_under_every_strategy() {
+        let engine = RpuEngine::new(RpuConfig::ciflow_baseline().with_bandwidth(12.8));
+        let chain = Workload::rescaling_chain(HksBenchmark::ARK, 4);
+        for dataflow in Dataflow::all() {
+            for mode in [PipelineMode::Fused, PipelineMode::BackToBack] {
+                let ws = build_workload(
+                    &chain,
+                    dataflow.strategy(),
+                    &config(EvkPolicy::Streamed),
+                    mode,
+                )
+                .unwrap();
+                rpu::TaskGraph::from_tasks(ws.schedule.graph.tasks().to_vec()).unwrap();
+                let result = engine.execute(&ws.schedule.graph).unwrap();
+                assert!(result.stats.runtime_seconds > 0.0, "{dataflow} {mode}");
             }
         }
     }
@@ -673,6 +1060,42 @@ mod tests {
         assert!(
             (0.99..=1.01).contains(&ratio),
             "pipeline {pipeline_ms:.3} ms vs 6 x {single_ms:.3} ms (ratio {ratio:.4})"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_back_to_back_matches_separate_kernel_executions() {
+        // Same honesty check for a rescaling chain: the barriered pipeline
+        // must cost the sum of its (different-sized) kernels.
+        let engine = RpuEngine::new(RpuConfig::ciflow_baseline().with_bandwidth(12.8));
+        let chain = Workload::rescaling_chain(HksBenchmark::ARK, 3);
+        let sum_ms: f64 = chain
+            .kernel_benchmarks()
+            .iter()
+            .map(|&b| {
+                let schedule = Dataflow::OutputCentric
+                    .strategy()
+                    .build(&HksShape::new(b), &config(EvkPolicy::OnChip))
+                    .unwrap();
+                engine.execute(&schedule.graph).unwrap().stats.runtime_ms()
+            })
+            .sum();
+        let unfused = build_workload(
+            &chain,
+            Dataflow::OutputCentric.strategy(),
+            &config(EvkPolicy::OnChip),
+            PipelineMode::BackToBack,
+        )
+        .unwrap();
+        let pipeline_ms = engine
+            .execute(&unfused.schedule.graph)
+            .unwrap()
+            .stats
+            .runtime_ms();
+        let ratio = pipeline_ms / sum_ms;
+        assert!(
+            (0.99..=1.01).contains(&ratio),
+            "pipeline {pipeline_ms:.3} ms vs sum {sum_ms:.3} ms (ratio {ratio:.4})"
         );
     }
 }

@@ -58,8 +58,10 @@ pub struct RpuConfig {
     pub dram_bandwidth_gbps: f64,
     /// Number of independent in-order DRAM pseudo-channels the aggregate
     /// bandwidth is split over (HBM parts expose 8–32). `1` reproduces the
-    /// classic single-queue memory model exactly; values are clamped to at
-    /// least 1 by [`memory_channel_count`](Self::memory_channel_count).
+    /// classic single-queue memory model exactly. Both the
+    /// [`with_memory_channels`](Self::with_memory_channels) setter and the
+    /// [`memory_channel_count`](Self::memory_channel_count) accessor clamp
+    /// to at least 1, so a hand-constructed `0` never propagates.
     pub num_memory_channels: usize,
     /// Computational-throughput multiplier relative to the 128-HPLE baseline
     /// (the paper's 1×/2×/4×/8×/16× MODOPS sweep).
@@ -157,16 +159,23 @@ impl RpuConfig {
 
     /// Returns a copy with the aggregate bandwidth split over `channels`
     /// independent in-order pseudo-channels. The total bandwidth is
-    /// unchanged — more channels mean narrower channels:
+    /// unchanged — more channels mean narrower channels. `channels` is
+    /// clamped to at least 1 *in the stored field* (a zero-channel RPU would
+    /// have no DRAM interface), so the field, the
+    /// [`memory_channel_count`](Self::memory_channel_count) accessor and
+    /// [`channel_bytes_per_second`](Self::channel_bytes_per_second) always
+    /// agree:
     ///
     /// ```
     /// use rpu::RpuConfig;
     /// let c = RpuConfig::ciflow_baseline().with_memory_channels(8);
     /// assert_eq!(c.memory_channel_count(), 8);
     /// assert!((c.channel_bytes_per_second() - c.dram_bytes_per_second() / 8.0).abs() < 1.0);
+    /// let degenerate = RpuConfig::ciflow_baseline().with_memory_channels(0);
+    /// assert_eq!(degenerate.num_memory_channels, 1);
     /// ```
     pub fn with_memory_channels(mut self, channels: usize) -> Self {
-        self.num_memory_channels = channels;
+        self.num_memory_channels = channels.max(1);
         self
     }
 
@@ -275,6 +284,25 @@ mod tests {
         );
         // Degenerate zero-channel configurations clamp to one channel.
         assert_eq!(c.clone().with_memory_channels(0).memory_channel_count(), 1);
+    }
+
+    #[test]
+    fn zero_channel_setter_keeps_field_accessor_and_bandwidth_consistent() {
+        // Regression: with_memory_channels(0) used to store 0 while
+        // memory_channel_count() silently clamped to 1, so the stored field,
+        // the accessor and channel_bytes_per_second() disagreed (and any code
+        // reading the field directly — serialization, reports — saw an RPU
+        // with no DRAM interface). The setter now clamps.
+        let c = RpuConfig::ciflow_baseline().with_memory_channels(0);
+        assert_eq!(c.num_memory_channels, 1);
+        assert_eq!(c.memory_channel_count(), c.num_memory_channels);
+        assert_eq!(
+            c.channel_bytes_per_second().to_bits(),
+            c.dram_bytes_per_second().to_bits()
+        );
+        // The clamped config is indistinguishable from an explicit 1-channel
+        // one.
+        assert_eq!(c, RpuConfig::ciflow_baseline().with_memory_channels(1));
     }
 
     #[test]
