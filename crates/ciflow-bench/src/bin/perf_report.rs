@@ -1,0 +1,38 @@
+//! Simulator perf harness: times schedule generation, engine execution and
+//! the full workload sweep, and writes `BENCH_simulator.json` at the
+//! repository root (see `ciflow_bench::perf` for what each section means).
+//!
+//! ```text
+//! cargo run -p ciflow-bench --release --bin perf_report [-- --iters N] [--out PATH]
+//! ```
+
+use ciflow_bench::perf;
+
+fn main() {
+    let mut iters = 5usize;
+    let mut out = String::from("BENCH_simulator.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters takes a positive integer");
+            }
+            "--out" => {
+                out = args.next().expect("--out takes a path");
+            }
+            other => panic!("unknown argument {other:?} (expected --iters N or --out PATH)"),
+        }
+    }
+
+    ciflow_bench::section("Simulator performance report");
+    let report = perf::measure(iters);
+    print!("{}", report.render_text());
+
+    let json = report.to_json();
+    perf::validate_json(&json).expect("rendered report must satisfy its schema");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("\nwrote {out}");
+}

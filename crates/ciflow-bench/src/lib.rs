@@ -12,6 +12,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use ciflow::api::Session;
 use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;

@@ -8,9 +8,10 @@ use crate::error::CiflowError;
 use crate::hks_shape::HksShape;
 use crate::schedule::{Schedule, ScheduleConfig};
 use crate::workload::{build_workload, PipelineMode, Workload};
-use rpu::{ExecutionStats, ExecutionTrace, RpuConfig, RpuEngine};
+use rpu::{ChannelMap, EvkPolicy, ExecutionStats, ExecutionTrace, RpuConfig, RpuEngine, TraceMode};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// How a job names its strategy: by registry name or as an inline object.
 #[derive(Clone)]
@@ -64,6 +65,81 @@ impl StrategySpec {
         }
     }
 }
+
+/// What a job asks the schedule layer to build: one kernel at a parameter
+/// point, or a pipeline over an expanded kernel ladder. Together with the
+/// strategy and the [`ScheduleConfig`] knobs this fully determines the built
+/// schedule, so it is the work half of a [`ScheduleKey`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum WorkKey {
+    /// A single key switch of one benchmark.
+    Single(HksBenchmark),
+    /// A workload pipeline: the expanded per-kernel benchmark ladder plus the
+    /// stitching mode. `build_workload` depends on the workload only through
+    /// these (the name is cosmetic), so two workloads expanding to the same
+    /// ladder share a cache entry by design.
+    Pipeline(Vec<HksBenchmark>, PipelineMode),
+}
+
+/// Cache key of one built schedule template: everything schedule construction
+/// reads. Bandwidth, MODOPS and channel count are deliberately absent — they
+/// shape execution, not the schedule — which is exactly why one template
+/// serves every point of a bandwidth sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ScheduleKey {
+    /// Identity of the strategy *object* (the thin part of its `Arc`
+    /// pointer). Names are not used: two inline strategies may share a short
+    /// name. The cached entry holds the `Arc` alive, so the address cannot be
+    /// recycled while the key exists.
+    strategy: usize,
+    evk_policy: EvkPolicy,
+    data_memory_bytes: u64,
+    work: WorkKey,
+}
+
+impl ScheduleKey {
+    fn new(strategy: &Arc<dyn ScheduleStrategy>, config: &ScheduleConfig, work: WorkKey) -> Self {
+        Self {
+            strategy: Arc::as_ptr(strategy) as *const () as usize,
+            evk_policy: config.evk_policy,
+            data_memory_bytes: config.data_memory_bytes,
+            work,
+        }
+    }
+}
+
+/// A built schedule template plus everything derived from it that timing
+/// parameters cannot change: pipeline metadata and the per-channel-count
+/// buffer placement maps.
+struct CachedPlan {
+    /// Keeps the keyed strategy alive so its address (the cache key) cannot
+    /// be reused by a different strategy while this entry exists.
+    _strategy: Arc<dyn ScheduleStrategy>,
+    schedule: Arc<Schedule>,
+    kernels: usize,
+    kernel_benchmarks: Vec<HksBenchmark>,
+    forwarded_bytes: u64,
+    /// Channel maps derived from the schedule, keyed by channel count —
+    /// [`Schedule::channel_map`] scans the whole graph, so jobs sharing a
+    /// schedule must not re-derive it (see `Session::run_job`).
+    channel_maps: Mutex<HashMap<usize, ChannelMap>>,
+}
+
+impl CachedPlan {
+    fn channel_map(&self, num_channels: usize) -> ChannelMap {
+        let mut maps = self
+            .channel_maps
+            .lock()
+            .expect("channel-map cache poisoned");
+        maps.entry(num_channels)
+            .or_insert_with(|| self.schedule.channel_map(num_channels))
+            .clone()
+    }
+}
+
+/// The session-level schedule cache, shared (via `Arc`) by clones of a
+/// session and by every job of a batch.
+type ScheduleCache = Arc<Mutex<HashMap<ScheduleKey, Arc<CachedPlan>>>>;
 
 /// A multi-kernel workload attached to a [`Job`]: the pipeline description
 /// plus the mode its kernels are stitched under.
@@ -160,10 +236,14 @@ pub struct JobOutput {
     pub rpu: RpuConfig,
     /// Aggregate execution statistics (runtime, idle fractions, traffic).
     pub stats: ExecutionStats,
-    /// Per-task trace (for timing diagrams).
-    pub trace: ExecutionTrace,
-    /// The schedule that was executed.
-    pub schedule: Schedule,
+    /// Per-task trace (for timing diagrams). `None` unless the session ran
+    /// with [`TraceMode::Full`] (see [`Session::with_trace`]) — stats-only
+    /// execution skips the per-task record allocation entirely.
+    pub trace: Option<ExecutionTrace>,
+    /// The schedule that was executed, shared with the session's schedule
+    /// cache: jobs differing only in timing parameters (bandwidth, MODOPS,
+    /// channel count) hand back the same `Arc`.
+    pub schedule: Arc<Schedule>,
     /// Number of HKS kernel invocations the schedule covered (1 for a plain
     /// job, the pipeline length for a workload job). Always equals
     /// `kernel_benchmarks.len()`.
@@ -272,12 +352,49 @@ impl BatchOutcome {
 /// queue jobs, and execute them all — in parallel across cores when the
 /// default `parallel` feature is enabled.
 ///
+/// ## Schedule caching
+///
+/// Sessions memoize built schedules: jobs that agree on strategy, parameter
+/// point (or workload ladder and pipeline mode), evk policy and data-memory
+/// size share one built [`Schedule`] — including its derived channel maps —
+/// no matter how their bandwidth, MODOPS multiplier or channel count differ.
+/// A bandwidth sweep therefore builds its task graph once, not once per
+/// point. The cache assumes strategies are *deterministic* (same shape and
+/// config in, same schedule out), which every reasonable strategy is; a
+/// deliberately randomized strategy can opt out with
+/// [`Session::without_schedule_cache`].
+///
+/// ## Tracing
+///
+/// Batch execution is statistics-only by default; ask for per-task traces
+/// with [`Session::with_trace`] when you need timing diagrams.
+///
 /// See the [module docs](crate::api) for an end-to-end example.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Session {
     rpu: RpuConfig,
     registry: StrategyRegistry,
     jobs: Vec<Job>,
+    trace: TraceMode,
+    cache: Option<ScheduleCache>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("rpu", &self.rpu)
+            .field("registry", &self.registry)
+            .field("jobs", &self.jobs)
+            .field("trace", &self.trace)
+            .field(
+                "cached_schedules",
+                &self
+                    .cache
+                    .as_ref()
+                    .map(|c| c.lock().map(|m| m.len()).unwrap_or(0)),
+            )
+            .finish()
+    }
 }
 
 impl Default for Session {
@@ -293,6 +410,8 @@ impl Session {
             rpu: RpuConfig::ciflow_baseline(),
             registry: StrategyRegistry::builtin(),
             jobs: Vec::new(),
+            trace: TraceMode::StatsOnly,
+            cache: Some(Arc::new(Mutex::new(HashMap::new()))),
         }
     }
 
@@ -300,6 +419,23 @@ impl Session {
     /// configuration run on this one).
     pub fn with_rpu(mut self, rpu: RpuConfig) -> Self {
         self.rpu = rpu;
+        self
+    }
+
+    /// Selects how much per-task detail jobs record: [`TraceMode::Full`]
+    /// attaches an [`ExecutionTrace`] to every [`JobOutput`],
+    /// [`TraceMode::StatsOnly`] (the default) skips the per-task records —
+    /// measurably cheaper for sweeps that only read aggregate numbers.
+    pub fn with_trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Disables the session's schedule cache: every job rebuilds its
+    /// schedule from scratch. Only needed for strategies that are not
+    /// deterministic functions of `(shape, config)`.
+    pub fn without_schedule_cache(mut self) -> Self {
+        self.cache = None;
         self
     }
 
@@ -360,6 +496,7 @@ impl Session {
     /// a failing (or even panicking) strategy produces an `Err` entry for its
     /// job and leaves the rest of the batch untouched.
     pub fn run(&self) -> BatchOutcome {
+        self.warm_schedule_cache();
         let indexed: Vec<&Job> = self.jobs.iter().collect();
         let results = crate::parallel::map(indexed, |job| JobResult {
             label: self.job_label(job),
@@ -370,30 +507,95 @@ impl Session {
         BatchOutcome { results }
     }
 
-    /// Executes a single job immediately (no panic isolation, no queueing).
-    ///
-    /// # Errors
-    ///
-    /// Returns the job's [`CiflowError`] on strategy-resolution, schedule
-    /// construction, or execution failure.
-    pub fn run_job(&self, job: &Job) -> Result<JobOutput, CiflowError> {
-        let strategy = match &job.strategy {
-            StrategySpec::Named(name) => self.registry.get(name)?,
-            StrategySpec::Inline(strategy) => Arc::clone(strategy),
-        };
-        let rpu = job.rpu.clone().unwrap_or_else(|| self.rpu.clone());
-        let schedule_config = ScheduleConfig {
+    /// Pre-builds the schedule template of every *distinct* [`ScheduleKey`]
+    /// in the queued batch (in parallel), so the subsequent fan-out hits the
+    /// cache instead of racing to build the same template on every worker.
+    /// Build and resolution failures are swallowed here — the owning job
+    /// re-encounters them and reports them as its own result.
+    fn warm_schedule_cache(&self) {
+        if self.cache.is_none() {
+            return;
+        }
+        let mut seen = std::collections::HashSet::new();
+        let distinct: Vec<&Job> = self
+            .jobs
+            .iter()
+            .filter(|job| {
+                let Ok(strategy) = self.job_strategy(job) else {
+                    return false;
+                };
+                let config = self.job_schedule_config(job);
+                seen.insert(ScheduleKey::new(&strategy, &config, Self::work_key(job)))
+            })
+            .collect();
+        if distinct.len() > 1 || self.jobs.len() > distinct.len() {
+            crate::parallel::map(distinct, |job| {
+                let _ = catch_unwind(AssertUnwindSafe(|| self.plan_for(job)));
+            });
+        }
+    }
+
+    /// Resolves the strategy a job names (or carries inline).
+    fn job_strategy(&self, job: &Job) -> Result<Arc<dyn ScheduleStrategy>, CiflowError> {
+        match &job.strategy {
+            StrategySpec::Named(name) => self.registry.get(name),
+            StrategySpec::Inline(strategy) => Ok(Arc::clone(strategy)),
+        }
+    }
+
+    /// The schedule-affecting knobs of the configuration a job runs on.
+    fn job_schedule_config(&self, job: &Job) -> ScheduleConfig {
+        let rpu = job.rpu.as_ref().unwrap_or(&self.rpu);
+        ScheduleConfig {
             data_memory_bytes: rpu.vector_memory_bytes,
             evk_policy: rpu.evk_policy,
+        }
+    }
+
+    /// The work half of a job's schedule key.
+    fn work_key(job: &Job) -> WorkKey {
+        match &job.workload {
+            Some(spec) => WorkKey::Pipeline(spec.workload.kernel_benchmarks(), spec.mode),
+            None => WorkKey::Single(job.benchmark),
+        }
+    }
+
+    /// Returns the job's built schedule plan, from the cache when an
+    /// identically-keyed job already built it (or is pre-built by
+    /// [`Session::run`]'s warm-up pass), building and inserting it otherwise.
+    fn plan_for(&self, job: &Job) -> Result<Arc<CachedPlan>, CiflowError> {
+        let strategy = self.job_strategy(job)?;
+        let config = self.job_schedule_config(job);
+        let Some(cache) = &self.cache else {
+            return Ok(Arc::new(self.build_plan(job, &strategy, &config)?));
         };
+        let key = ScheduleKey::new(&strategy, &config, Self::work_key(job));
+        if let Some(plan) = cache.lock().expect("schedule cache poisoned").get(&key) {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(self.build_plan(job, &strategy, &config)?);
+        // First insert wins, so concurrent cold builders converge on one
+        // shared plan (and one shared `Arc<Schedule>` identity).
+        Ok(Arc::clone(
+            cache
+                .lock()
+                .expect("schedule cache poisoned")
+                .entry(key)
+                .or_insert(plan),
+        ))
+    }
+
+    /// Actually builds a job's schedule template (cache miss path).
+    fn build_plan(
+        &self,
+        job: &Job,
+        strategy: &Arc<dyn ScheduleStrategy>,
+        config: &ScheduleConfig,
+    ) -> Result<CachedPlan, CiflowError> {
         let (schedule, kernels, kernel_benchmarks, forwarded_bytes) = match &job.workload {
             Some(spec) => {
-                let pipeline = build_workload(
-                    &spec.workload,
-                    strategy.as_ref(),
-                    &schedule_config,
-                    spec.mode,
-                )?;
+                let pipeline =
+                    build_workload(&spec.workload, strategy.as_ref(), config, spec.mode)?;
                 (
                     pipeline.schedule,
                     pipeline.kernels,
@@ -403,30 +605,64 @@ impl Session {
             }
             None => {
                 let shape = HksShape::new(job.benchmark);
-                (
-                    strategy.build(&shape, &schedule_config)?,
-                    1,
-                    vec![job.benchmark],
-                    0,
-                )
+                (strategy.build(&shape, config)?, 1, vec![job.benchmark], 0)
             }
         };
-        // Channel-aware placement: the schedule's label-encoded channel
-        // hints become the engine's buffer-to-channel map (a no-op for the
-        // default single-channel configuration).
-        let engine = RpuEngine::new(rpu.clone())
-            .with_channel_map(schedule.channel_map(rpu.memory_channel_count()));
-        let result = engine.execute(&schedule.graph)?;
-        Ok(JobOutput {
-            benchmark: job.effective_benchmark(),
-            strategy: schedule.strategy.clone(),
-            rpu,
-            stats: result.stats,
-            trace: result.trace,
-            schedule,
+        Ok(CachedPlan {
+            _strategy: Arc::clone(strategy),
+            schedule: Arc::new(schedule),
             kernels,
             kernel_benchmarks,
             forwarded_bytes,
+            channel_maps: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Executes a single job immediately (no panic isolation, no queueing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the job's [`CiflowError`] on strategy-resolution, schedule
+    /// construction, or execution failure.
+    pub fn run_job(&self, job: &Job) -> Result<JobOutput, CiflowError> {
+        self.run_job_with(job, self.trace)
+    }
+
+    /// [`Session::run_job`] with an explicit trace mode, overriding the
+    /// session's. Lets callers that always need a trace (the legacy
+    /// [`HksRun`](crate::runner::HksRun) path) avoid cloning the session
+    /// just to flip the mode.
+    pub(crate) fn run_job_with(
+        &self,
+        job: &Job,
+        trace_mode: TraceMode,
+    ) -> Result<JobOutput, CiflowError> {
+        let rpu = job.rpu.clone().unwrap_or_else(|| self.rpu.clone());
+        let plan = self.plan_for(job)?;
+        // Channel-aware placement: the schedule's label-encoded channel
+        // hints become the engine's buffer-to-channel map (a no-op for the
+        // default single-channel configuration). The map is derived once per
+        // (plan, channel count) and cached with the plan — jobs sharing a
+        // schedule no longer re-scan the graph per job.
+        let engine = RpuEngine::new(rpu.clone())
+            .with_channel_map(plan.channel_map(rpu.memory_channel_count()));
+        let (stats, trace) = match trace_mode {
+            TraceMode::Full => {
+                let result = engine.execute(&plan.schedule.graph)?;
+                (result.stats, Some(result.trace))
+            }
+            TraceMode::StatsOnly => (engine.execute_stats(&plan.schedule.graph)?, None),
+        };
+        Ok(JobOutput {
+            benchmark: job.effective_benchmark(),
+            strategy: plan.schedule.strategy.clone(),
+            rpu,
+            stats,
+            trace,
+            schedule: Arc::clone(&plan.schedule),
+            kernels: plan.kernels,
+            kernel_benchmarks: plan.kernel_benchmarks.clone(),
+            forwarded_bytes: plan.forwarded_bytes,
         })
     }
 

@@ -4,8 +4,9 @@ use crate::benchmark::HksBenchmark;
 use crate::dataflow::Dataflow;
 use crate::error::CiflowError;
 use crate::schedule::Schedule;
-use rpu::{ExecutionStats, ExecutionTrace, RpuConfig};
+use rpu::{ExecutionStats, ExecutionTrace, RpuConfig, TraceMode};
 use serde::Serialize;
+use std::sync::Arc;
 
 /// Everything needed to run one benchmark under one dataflow on one RPU
 /// configuration.
@@ -32,8 +33,9 @@ pub struct HksRunResult {
     pub stats: ExecutionStats,
     /// Per-task trace (for timing diagrams).
     pub trace: ExecutionTrace,
-    /// The schedule that was executed.
-    pub schedule: Schedule,
+    /// The schedule that was executed (shared with the session's schedule
+    /// cache).
+    pub schedule: Arc<Schedule>,
 }
 
 /// Compact, serializable summary of a run (used by the benchmark harnesses).
@@ -117,15 +119,18 @@ impl HksRun {
     ///
     /// Propagates the job's [`CiflowError`].
     pub fn execute_in(&self, session: &crate::api::Session) -> Result<HksRunResult, CiflowError> {
-        let output = session.run_job(
+        // The legacy result type always carries a trace, so ask for one
+        // regardless of the session's trace mode.
+        let output = session.run_job_with(
             &crate::api::Job::new(self.benchmark, self.dataflow).with_rpu(self.rpu.clone()),
+            TraceMode::Full,
         )?;
         Ok(HksRunResult {
             benchmark: self.benchmark.name,
             dataflow: self.dataflow,
             rpu: output.rpu,
             stats: output.stats,
-            trace: output.trace,
+            trace: output.trace.expect("traced session returns a trace"),
             schedule: output.schedule,
         })
     }

@@ -211,14 +211,14 @@ mod tests {
             .graph
             .tasks()
             .iter()
-            .filter(|t| t.is_compute() && t.stage == "ModUp-P1")
+            .filter(|t| t.is_compute() && &*t.stage == "ModUp-P1")
             .count();
         assert_eq!(intt_tasks, shape.ell());
         let apply_key_tasks = schedule
             .graph
             .tasks()
             .iter()
-            .filter(|t| t.is_compute() && t.stage == "ModUp-P4")
+            .filter(|t| t.is_compute() && &*t.stage == "ModUp-P4")
             .count();
         assert_eq!(apply_key_tasks, shape.dnum() * shape.extended());
     }
@@ -231,7 +231,7 @@ mod tests {
             .graph
             .tasks()
             .iter()
-            .filter(|t| t.is_compute() && t.stage == "ModUp-P5")
+            .filter(|t| t.is_compute() && &*t.stage == "ModUp-P5")
             .count();
         assert_eq!(reduce_compute, 0, "BTS1 lacks the ModUp Reduce step");
     }

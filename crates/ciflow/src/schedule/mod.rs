@@ -97,7 +97,7 @@ impl Schedule {
         let mut map = std::collections::BTreeMap::new();
         for task in self.graph.tasks() {
             if task.is_memory() {
-                *map.entry(task.stage.clone()).or_insert(0) += task.bytes();
+                *map.entry(task.stage.to_string()).or_insert(0) += task.bytes();
             }
         }
         map
@@ -282,7 +282,7 @@ impl<'a> ScheduleBuilder<'a> {
         kind: ComputeKind,
         ops: u64,
         deps: Vec<TaskId>,
-        label: impl Into<String>,
+        label: impl Into<rpu::Label>,
         stage: HksStage,
     ) -> TaskId {
         self.graph

@@ -455,7 +455,7 @@ mod tests {
             .graph
             .tasks()
             .iter()
-            .filter(|t| t.is_compute() && t.stage == "ModUp-P2" && t.label.contains("slice"))
+            .filter(|t| t.is_compute() && &*t.stage == "ModUp-P2" && t.label.contains("slice"))
             .count();
         let shape = HksShape::new(HksBenchmark::ARK);
         // Section 1: (dnum-1) slices per Q output tower; Section 2: dnum per
@@ -473,7 +473,7 @@ mod tests {
                 .graph
                 .tasks()
                 .iter()
-                .filter(|t| t.is_compute() && t.stage == "ModUp-P1")
+                .filter(|t| t.is_compute() && &*t.stage == "ModUp-P1")
                 .count();
             assert_eq!(modup_intts, shape.ell(), "{}", bench.name);
         }

@@ -109,7 +109,7 @@ impl WorkloadStep {
 }
 
 /// How the kernels of a workload are scheduled relative to each other.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum PipelineMode {
     /// Kernels are fused into one pipeline: cross-kernel dependencies at
     /// buffer granularity, memory-queue prefetch of the next kernel under the

@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 pub const MIB: u64 = 1024 * 1024;
 
 /// Policy for where evaluation keys live during a key switch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EvkPolicy {
     /// All evks are preloaded into a dedicated on-chip key memory before the
     /// kernel starts (the paper's 392 MB configuration: 32 MB data + 360 MB

@@ -13,6 +13,29 @@
 //! single in-order memory queue. Because FHE is data-oblivious, all of this
 //! is known statically and the model needs no speculation.
 //!
+//! ## Ready-tracking and grant mechanics
+//!
+//! Dependency resolution is *incremental*: the engine precomputes, per task,
+//! a remaining-dependency counter and keeps a running ready time (the max
+//! finish time over its already-completed dependencies). When a task
+//! completes, the engine walks its dependents (a CSR adjacency built once per
+//! execution), decrementing counters and raising ready times — O(1) amortized
+//! per graph edge. A queue head is *ready* exactly when its counter hits
+//! zero, so the issue check and the data-path grant scan are O(1) per queue:
+//! granting is one pass over the channel heads picking the oldest
+//! (lowest-id) ready head, and the ready time established by that pass is
+//! the grant's start time lower bound — dependencies are never re-scanned.
+//! These mechanics change *how* readiness is computed, not *when* a task is
+//! ready: the schedule timing is bit-identical to the historical
+//! re-scanning engine (property-tested in `tests/channels.rs`).
+//!
+//! Execution is *trace-optional*: [`RpuEngine::execute`] records a
+//! [`TaskRecord`] per task for timing diagrams, while
+//! [`RpuEngine::execute_stats`] runs the identical simulation without
+//! allocating any per-task records — the mode sweeps and batch sessions use.
+//! Both paths share one simulation loop, so their [`ExecutionStats`] are
+//! bit-identical by construction (and property-tested anyway).
+//!
 //! The full timing semantics — issue and grant rules, dependency stalls, the
 //! deadlock condition, buffer-to-channel mapping, and worked timing
 //! diagrams — are documented in `docs/MEMORY_MODEL.md` at the repository
@@ -23,6 +46,23 @@ use crate::config::RpuConfig;
 use crate::stats::ExecutionStats;
 use crate::task::{Task, TaskGraph, TaskId, TaskKind};
 use crate::trace::{EngineQueue, ExecutionTrace, TaskRecord};
+use std::sync::Arc;
+
+/// How much per-task detail an execution records.
+///
+/// Statistics-only execution avoids one [`TaskRecord`] allocation (plus two
+/// label reference-count bumps) per task, which matters when a sweep executes
+/// thousands of identical graphs only to read aggregate numbers off each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TraceMode {
+    /// Record only aggregate [`ExecutionStats`] (the default for sweeps and
+    /// batch sessions).
+    #[default]
+    StatsOnly,
+    /// Additionally record a per-task [`TaskRecord`] trace for timing
+    /// diagrams.
+    Full,
+}
 
 /// Errors raised during execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,14 +165,44 @@ impl RpuEngine {
         }
     }
 
-    /// Executes a task graph and returns runtime statistics and a trace.
+    /// Executes a task graph and returns runtime statistics and a per-task
+    /// trace ([`TraceMode::Full`]).
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::Deadlock`] if the in-order queues block each
     /// other, which indicates an invalid schedule.
     pub fn execute(&self, graph: &TaskGraph) -> Result<RunResult, EngineError> {
+        let mut trace = ExecutionTrace::new();
+        let stats = self.run(graph, Some(&mut trace))?;
+        Ok(RunResult { stats, trace })
+    }
+
+    /// Executes a task graph and returns only the aggregate statistics
+    /// ([`TraceMode::StatsOnly`]): the same simulation as
+    /// [`RpuEngine::execute`] without allocating a [`TaskRecord`] per task.
+    /// The statistics are bit-identical to the traced run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Deadlock`] exactly as [`RpuEngine::execute`]
+    /// would.
+    pub fn execute_stats(&self, graph: &TaskGraph) -> Result<ExecutionStats, EngineError> {
+        self.run(graph, None)
+    }
+
+    /// The shared simulation core. `trace` selects the mode: `Some` records a
+    /// [`TaskRecord`] per completed task, `None` skips all per-task
+    /// allocation. Everything else — issue, grant, retirement, statistics —
+    /// is one code path, which is what makes the two public modes
+    /// bit-identical.
+    fn run(
+        &self,
+        graph: &TaskGraph,
+        mut trace: Option<&mut ExecutionTrace>,
+    ) -> Result<ExecutionStats, EngineError> {
         let tasks = graph.tasks();
+        let n = tasks.len();
         let channels = self.config.memory_channel_count();
         let compute_queue: Vec<TaskId> = tasks
             .iter()
@@ -147,8 +217,32 @@ impl RpuEngine {
             memory_tasks += 1;
         }
 
-        let mut finish = vec![f64::NAN; tasks.len()];
-        let mut trace = ExecutionTrace::new();
+        // Incremental ready-tracking state: per task, the number of
+        // dependencies not yet retired and the max finish time over the
+        // retired ones. Retirement walks the dependents adjacency (CSR: one
+        // offsets array plus one flat edge array, built in O(V + E)), so
+        // dependency resolution costs O(1) amortized per edge instead of a
+        // per-event rescan of every queue head's dependency list.
+        let mut remaining: Vec<u32> = tasks.iter().map(|t| t.dependencies.len() as u32).collect();
+        let mut ready_at: Vec<f64> = vec![0.0; n];
+        let mut offsets: Vec<usize> = vec![0; n + 1];
+        for task in tasks {
+            for &d in &task.dependencies {
+                offsets[d + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut dependents: Vec<TaskId> = vec![0; offsets[n]];
+        let mut cursor = offsets.clone();
+        for task in tasks {
+            for &d in &task.dependencies {
+                dependents[cursor[d]] = task.id;
+                cursor[d] += 1;
+            }
+        }
+
         let mut stats = ExecutionStats {
             compute_tasks: compute_queue.len(),
             memory_tasks,
@@ -164,18 +258,7 @@ impl RpuEngine {
         let mut mi = vec![0usize; channels]; // per-channel memory queue index
         let mut compute_free_at = 0.0f64;
         let mut bus_free_at = 0.0f64; // when the shared data path frees
-
-        let deps_ready = |task: &Task, finish: &[f64]| -> Option<f64> {
-            let mut ready = 0.0f64;
-            for &d in &task.dependencies {
-                let f = finish[d];
-                if f.is_nan() {
-                    return None;
-                }
-                ready = ready.max(f);
-            }
-            Some(ready)
-        };
+        let mut makespan = 0.0f64;
 
         // Event-driven simulation: the in-flight compute task and the
         // in-flight memory grant are the only events; at each event time the
@@ -188,36 +271,39 @@ impl RpuEngine {
         let mut comp_run: Option<(TaskId, f64, f64)> = None; // (task, start, end)
 
         loop {
-            // Issue the compute head as soon as its dependencies' finish
-            // times are known.
+            // Issue the compute head as soon as all its dependencies have
+            // retired; `ready_at` already holds their max finish time.
             if comp_run.is_none() {
                 if let Some(&head) = compute_queue.get(ci) {
-                    let task = &tasks[head];
-                    if let Some(dep_ready) = deps_ready(task, &finish) {
-                        let start = dep_ready.max(compute_free_at);
-                        comp_run = Some((head, start, start + self.task_duration(task)));
+                    if remaining[head] == 0 {
+                        let start = ready_at[head].max(compute_free_at);
+                        comp_run = Some((head, start, start + self.task_duration(&tasks[head])));
                         ci += 1;
                     }
                 }
             }
 
-            // Grant the data path to the oldest ready channel head.
+            // Grant the data path to the oldest ready channel head. The scan
+            // is O(channels): readiness is a counter test, and the ready
+            // time comes straight from `ready_at` — dependencies are not
+            // re-examined for the granted task.
             if mem_run.is_none() {
                 let mut grant: Option<(TaskId, usize)> = None;
                 for (channel, queue) in memory_queues.iter().enumerate() {
                     if let Some(&head) = queue.get(mi[channel]) {
-                        if deps_ready(&tasks[head], &finish).is_some()
-                            && grant.is_none_or(|(best, _)| head < best)
-                        {
+                        if remaining[head] == 0 && grant.is_none_or(|(best, _)| head < best) {
                             grant = Some((head, channel));
                         }
                     }
                 }
                 if let Some((head, channel)) = grant {
-                    let task = &tasks[head];
-                    let dep_ready = deps_ready(task, &finish).expect("grant head is ready");
-                    let start = dep_ready.max(bus_free_at);
-                    mem_run = Some((head, channel, start, start + self.task_duration(task)));
+                    let start = ready_at[head].max(bus_free_at);
+                    mem_run = Some((
+                        head,
+                        channel,
+                        start,
+                        start + self.task_duration(&tasks[head]),
+                    ));
                     mi[channel] += 1;
                 }
             }
@@ -249,46 +335,59 @@ impl RpuEngine {
                 }
             };
 
+            // Retire a completed task: update the dependents' counters and
+            // ready times (the incremental replacement for finish-time
+            // rescans).
+            let retire = |head: TaskId, end: f64, remaining: &mut [u32], ready_at: &mut [f64]| {
+                for &c in &dependents[offsets[head]..offsets[head + 1]] {
+                    remaining[c] -= 1;
+                    ready_at[c] = ready_at[c].max(end);
+                }
+            };
+
             if let Some((head, channel, start, end)) = mem_run {
                 if end <= t_next {
-                    finish[head] = end;
+                    retire(head, end, &mut remaining, &mut ready_at);
+                    makespan = makespan.max(end);
                     bus_free_at = end;
                     stats.memory_busy_seconds += end - start;
                     stats.memory_channel_busy_seconds[channel] += end - start;
-                    trace.push(TaskRecord {
-                        task: head,
-                        queue: EngineQueue::Memory(channel),
-                        start_seconds: start,
-                        end_seconds: end,
-                        label: tasks[head].label.clone(),
-                        stage: tasks[head].stage.clone(),
-                    });
+                    if let Some(trace) = trace.as_deref_mut() {
+                        trace.push(TaskRecord {
+                            task: head,
+                            queue: EngineQueue::Memory(channel),
+                            start_seconds: start,
+                            end_seconds: end,
+                            label: Arc::clone(&tasks[head].label),
+                            stage: Arc::clone(&tasks[head].stage),
+                        });
+                    }
                     mem_run = None;
                 }
             }
             if let Some((head, start, end)) = comp_run {
                 if end <= t_next {
-                    finish[head] = end;
+                    retire(head, end, &mut remaining, &mut ready_at);
+                    makespan = makespan.max(end);
                     compute_free_at = end;
                     stats.compute_busy_seconds += end - start;
-                    trace.push(TaskRecord {
-                        task: head,
-                        queue: EngineQueue::Compute,
-                        start_seconds: start,
-                        end_seconds: end,
-                        label: tasks[head].label.clone(),
-                        stage: tasks[head].stage.clone(),
-                    });
+                    if let Some(trace) = trace.as_deref_mut() {
+                        trace.push(TaskRecord {
+                            task: head,
+                            queue: EngineQueue::Compute,
+                            start_seconds: start,
+                            end_seconds: end,
+                            label: Arc::clone(&tasks[head].label),
+                            stage: Arc::clone(&tasks[head].stage),
+                        });
+                    }
                     comp_run = None;
                 }
             }
         }
 
-        stats.runtime_seconds = finish
-            .iter()
-            .filter(|f| !f.is_nan())
-            .fold(0.0f64, |acc, &f| acc.max(f));
-        Ok(RunResult { stats, trace })
+        stats.runtime_seconds = makespan;
+        Ok(stats)
     }
 }
 

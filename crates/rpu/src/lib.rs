@@ -53,13 +53,13 @@ pub mod trace;
 
 pub use channel::ChannelMap;
 pub use config::{EvkPolicy, RpuConfig, MIB};
-pub use engine::{EngineError, RpuEngine, RunResult};
+pub use engine::{EngineError, RpuEngine, RunResult, TraceMode};
 pub use isa::{B1kInstruction, InstructionClass, KernelCosts};
 pub use memory::{AllocationOutcome, OnChipTracker};
 pub use stats::ExecutionStats;
 pub use task::{
-    AppendAction, AppendedGraph, ComputeKind, MemoryDirection, Task, TaskGraph, TaskGraphError,
-    TaskId, TaskKind,
+    AppendAction, AppendedGraph, ComputeKind, Label, MemoryDirection, Task, TaskGraph,
+    TaskGraphError, TaskId, TaskKind,
 };
 pub use trace::{EngineQueue, ExecutionTrace, TaskRecord};
 

@@ -8,9 +8,21 @@
 //! memory queues.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Identifier of a task within one task graph.
 pub type TaskId = usize;
+
+/// An interned task label: a cheaply clonable, immutable shared string.
+///
+/// Task graphs carry two strings per task (buffer label and stage name) that
+/// are copied every time a graph is spliced ([`TaskGraph::append_offset`]),
+/// traced, or cloned out of a schedule cache. Interning them as `Arc<str>`
+/// turns each of those copies into a reference-count bump instead of a heap
+/// allocation; stage names in particular are shared by hundreds of tasks.
+/// `Label` dereferences to `&str`, so all string inspection (channel-map
+/// hashing, forwarding's per-tower label matching) is unchanged.
+pub type Label = Arc<str>;
 
 /// The compute kernel a compute task runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -87,9 +99,12 @@ pub struct Task {
     /// memory tasks this is also the *placement key*: the engine's
     /// [`ChannelMap`](crate::channel::ChannelMap) hashes it to pick the
     /// task's memory channel unless [`channel`](Self::channel) overrides it.
-    pub label: String,
+    /// Interned (see [`Label`]) so graph splicing and tracing clone a
+    /// reference count, not a heap string.
+    pub label: Label,
     /// HKS stage name (e.g. "ModUp-P2") used to group the timing diagrams.
-    pub stage: String,
+    /// Interned like [`label`](Self::label).
+    pub stage: Label,
     /// Explicit memory-channel hint. `None` (the default for every
     /// [`TaskGraph::push_memory`] task) defers placement to the engine's
     /// label-driven channel map; `Some(c)` pins the transfer to channel
@@ -273,8 +288,8 @@ impl TaskGraph {
         kind: ComputeKind,
         ops: u64,
         dependencies: Vec<TaskId>,
-        label: impl Into<String>,
-        stage: impl Into<String>,
+        label: impl Into<Label>,
+        stage: impl Into<Label>,
     ) -> TaskId {
         self.push(
             TaskKind::Compute { kind, ops },
@@ -292,8 +307,8 @@ impl TaskGraph {
         direction: MemoryDirection,
         bytes: u64,
         dependencies: Vec<TaskId>,
-        label: impl Into<String>,
-        stage: impl Into<String>,
+        label: impl Into<Label>,
+        stage: impl Into<Label>,
     ) -> TaskId {
         self.push_memory_on(direction, bytes, dependencies, label, stage, None)
     }
@@ -306,8 +321,8 @@ impl TaskGraph {
         direction: MemoryDirection,
         bytes: u64,
         dependencies: Vec<TaskId>,
-        label: impl Into<String>,
-        stage: impl Into<String>,
+        label: impl Into<Label>,
+        stage: impl Into<Label>,
         channel: Option<usize>,
     ) -> TaskId {
         self.push(
@@ -323,8 +338,8 @@ impl TaskGraph {
         &mut self,
         kind: TaskKind,
         dependencies: Vec<TaskId>,
-        label: impl Into<String>,
-        stage: impl Into<String>,
+        label: impl Into<Label>,
+        stage: impl Into<Label>,
         channel: Option<usize>,
     ) -> TaskId {
         let id = self.tasks.len();
@@ -454,8 +469,12 @@ impl TaskGraph {
                         id,
                         kind: task.kind,
                         dependencies: deps,
-                        label: format!("{label_prefix}{}", task.label),
-                        stage: task.stage.clone(),
+                        label: if label_prefix.is_empty() {
+                            Arc::clone(&task.label)
+                        } else {
+                            format!("{label_prefix}{}", task.label).into()
+                        },
+                        stage: Arc::clone(&task.stage),
                         channel: task.channel,
                     });
                     mapping.push(AppendMapping::Task(id));
@@ -599,7 +618,7 @@ mod tests {
         assert_eq!(appended.resolve(3), &[7]);
         // Dependencies point at the remapped ids, labels carry the prefix.
         assert_eq!(g.tasks()[5].dependencies, vec![4]);
-        assert_eq!(g.tasks()[5].label, "k2:intt x");
+        assert_eq!(&*g.tasks()[5].label, "k2:intt x");
         // Totals double, validation still passes.
         assert_eq!(g.total_ops(), 2 * sample_graph().total_ops());
         assert!(TaskGraph::from_tasks(g.tasks().to_vec()).is_ok());
@@ -635,7 +654,7 @@ mod tests {
         // a dependency on the first graph's sink instead.
         let appended = g
             .append_offset(&sub, "", |t| {
-                if t.label == "load x" {
+                if &*t.label == "load x" {
                     AppendAction::Splice {
                         extra_deps: vec![3],
                     }

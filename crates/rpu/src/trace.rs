@@ -4,7 +4,7 @@
 //! ran. The `fig2_timing_diagrams` harness renders these as the per-stage
 //! timing diagrams of the paper's Figure 2.
 
-use crate::task::TaskId;
+use crate::task::{Label, TaskId};
 use serde::{Deserialize, Serialize};
 
 /// Which engine resource executed a task.
@@ -43,10 +43,10 @@ pub struct TaskRecord {
     pub start_seconds: f64,
     /// End time in seconds from kernel start.
     pub end_seconds: f64,
-    /// Label copied from the task.
-    pub label: String,
-    /// Stage name copied from the task (e.g. "ModUp-P2").
-    pub stage: String,
+    /// Label shared with the task (interned; see [`Label`]).
+    pub label: Label,
+    /// Stage name shared with the task (e.g. "ModUp-P2").
+    pub stage: Label,
 }
 
 impl TaskRecord {
@@ -81,8 +81,8 @@ impl ExecutionTrace {
     /// Start and end times of each distinct stage, in first-appearance order:
     /// `(stage, first_start, last_end)`.
     pub fn stage_spans(&self) -> Vec<(String, f64, f64)> {
-        let mut order: Vec<String> = Vec::new();
-        let mut spans: std::collections::HashMap<String, (f64, f64)> =
+        let mut order: Vec<Label> = Vec::new();
+        let mut spans: std::collections::HashMap<Label, (f64, f64)> =
             std::collections::HashMap::new();
         for r in &self.records {
             let entry = spans
@@ -90,7 +90,7 @@ impl ExecutionTrace {
                 .or_insert((r.start_seconds, r.end_seconds));
             entry.0 = entry.0.min(r.start_seconds);
             entry.1 = entry.1.max(r.end_seconds);
-            if !order.contains(&r.stage) {
+            if !order.iter().any(|s| s == &r.stage) {
                 order.push(r.stage.clone());
             }
         }
@@ -98,7 +98,7 @@ impl ExecutionTrace {
             .into_iter()
             .map(|s| {
                 let (a, b) = spans[&s];
-                (s, a, b)
+                (s.as_ref().to_owned(), a, b)
             })
             .collect()
     }
@@ -141,8 +141,8 @@ mod tests {
             queue: EngineQueue::Compute,
             start_seconds: start,
             end_seconds: end,
-            label: format!("t{task}"),
-            stage: stage.to_string(),
+            label: format!("t{task}").into(),
+            stage: stage.into(),
         }
     }
 

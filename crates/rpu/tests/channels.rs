@@ -221,6 +221,42 @@ proptest! {
     }
 
     #[test]
+    fn stats_only_execution_matches_traced_execution_bit_for_bit(
+        entries in proptest::collection::vec(
+            (0u8..=255, 0u64..u64::MAX / 2, 0u64..u64::MAX / 2, 0u64..u64::MAX / 2),
+            1..40,
+        ),
+        channels in 1usize..=8,
+    ) {
+        // The trace-optional fast path must be the same simulation: every
+        // aggregate statistic agrees to the bit with the traced run's.
+        let graph = graph_from(&entries);
+        let engine = RpuEngine::new(config().with_memory_channels(channels));
+        let traced = engine.execute(&graph).expect("valid graphs execute");
+        let stats = engine.execute_stats(&graph).expect("valid graphs execute");
+        prop_assert_eq!(
+            stats.runtime_seconds.to_bits(),
+            traced.stats.runtime_seconds.to_bits()
+        );
+        prop_assert_eq!(
+            stats.compute_busy_seconds.to_bits(),
+            traced.stats.compute_busy_seconds.to_bits()
+        );
+        prop_assert_eq!(
+            stats.memory_busy_seconds.to_bits(),
+            traced.stats.memory_busy_seconds.to_bits()
+        );
+        for (a, b) in stats
+            .memory_channel_busy_seconds
+            .iter()
+            .zip(&traced.stats.memory_channel_busy_seconds)
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(&stats, &traced.stats);
+    }
+
+    #[test]
     fn multi_channel_execution_preserves_dependencies_and_work(
         entries in proptest::collection::vec(
             (0u8..=255, 0u64..u64::MAX / 2, 0u64..u64::MAX / 2, 0u64..u64::MAX / 2),

@@ -1,0 +1,197 @@
+//! Invariants of the simulator hot-path overhaul: the fast paths must be
+//! *observationally identical* to the slow paths they replace.
+//!
+//! 1. Statistics-only execution ([`RpuEngine::execute_stats`]) returns
+//!    bit-identical [`ExecutionStats`] to traced execution, across all
+//!    strategies, channel counts, and pipeline modes.
+//! 2. A schedule-cache hit produces a [`JobOutput`] identical to a cold
+//!    build — same statistics to the bit, same schedule contents — while
+//!    actually sharing the built schedule (`Arc` identity).
+
+use ciflow::api::{Job, Session};
+use ciflow::benchmark::HksBenchmark;
+use ciflow::dataflow::Dataflow;
+use ciflow::sweep::BANDWIDTH_LADDER;
+use ciflow::workload::{build_workload, PipelineMode, Workload};
+use ciflow::ScheduleConfig;
+use proptest::prelude::*;
+use rpu::{EvkPolicy, ExecutionStats, RpuConfig, RpuEngine, TraceMode};
+use std::sync::Arc;
+
+/// Bit-level equality of every field of two [`ExecutionStats`] (plain
+/// `assert_eq!` would accept `-0.0 == 0.0`).
+fn assert_stats_bit_identical(a: &ExecutionStats, b: &ExecutionStats) {
+    assert_eq!(a.runtime_seconds.to_bits(), b.runtime_seconds.to_bits());
+    assert_eq!(
+        a.compute_busy_seconds.to_bits(),
+        b.compute_busy_seconds.to_bits()
+    );
+    assert_eq!(
+        a.memory_busy_seconds.to_bits(),
+        b.memory_busy_seconds.to_bits()
+    );
+    assert_eq!(
+        a.memory_channel_busy_seconds.len(),
+        b.memory_channel_busy_seconds.len()
+    );
+    for (x, y) in a
+        .memory_channel_busy_seconds
+        .iter()
+        .zip(&b.memory_channel_busy_seconds)
+    {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    assert_eq!(a.total_ops, b.total_ops);
+    assert_eq!(a.bytes_loaded, b.bytes_loaded);
+    assert_eq!(a.bytes_stored, b.bytes_stored);
+    assert_eq!(a.compute_tasks, b.compute_tasks);
+    assert_eq!(a.memory_tasks, b.memory_tasks);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn stats_only_execution_is_bit_identical_to_traced(
+        benchmark_index in 0usize..5,
+        dataflow_index in 0usize..3,
+        channel_index in 0usize..4,
+        fused in 0u8..2,
+        streamed in 0u8..2,
+        bandwidth_index in 0usize..BANDWIDTH_LADDER.len(),
+    ) {
+        let benchmark = HksBenchmark::all()[benchmark_index];
+        let dataflow = Dataflow::all()[dataflow_index];
+        let channels = [1usize, 2, 4, 8][channel_index];
+        let mode = if fused == 1 { PipelineMode::Fused } else { PipelineMode::BackToBack };
+        let evk_policy = if streamed == 1 { EvkPolicy::Streamed } else { EvkPolicy::OnChip };
+        let config = ScheduleConfig {
+            data_memory_bytes: 32 * rpu::MIB,
+            evk_policy,
+        };
+        let ws = build_workload(
+            &Workload::rotation_batch(benchmark, 2),
+            dataflow.strategy(),
+            &config,
+            mode,
+        ).unwrap();
+        let rpu = RpuConfig::ciflow_with_policy(evk_policy)
+            .with_bandwidth(BANDWIDTH_LADDER[bandwidth_index])
+            .with_memory_channels(channels);
+        let engine = RpuEngine::new(rpu)
+            .with_channel_map(ws.schedule.channel_map(channels));
+        let traced = engine.execute(&ws.schedule.graph).unwrap();
+        let stats_only = engine.execute_stats(&ws.schedule.graph).unwrap();
+        assert_stats_bit_identical(&stats_only, &traced.stats);
+        prop_assert_eq!(traced.trace.records().len(), ws.schedule.graph.len());
+    }
+}
+
+#[test]
+fn session_trace_modes_agree_on_stats() {
+    // The same invariant through the session layer: a traced session and a
+    // stats-only session report bit-identical statistics for the same job.
+    for dataflow in Dataflow::all() {
+        let job = Job::workload(
+            Workload::mul_rot_block(HksBenchmark::DPRIVE, 2),
+            dataflow,
+            PipelineMode::Fused,
+        )
+        .with_rpu(RpuConfig::ciflow_streaming().with_bandwidth(25.6));
+        let stats_only = Session::new().run_job(&job).unwrap();
+        let traced = Session::new()
+            .with_trace(TraceMode::Full)
+            .run_job(&job)
+            .unwrap();
+        assert!(stats_only.trace.is_none(), "stats-only carries no trace");
+        let trace = traced.trace.as_ref().expect("traced session records");
+        assert_eq!(trace.records().len(), traced.schedule.graph.len());
+        assert_stats_bit_identical(&stats_only.stats, &traced.stats);
+    }
+}
+
+#[test]
+fn schedule_cache_hit_matches_cold_build_exactly() {
+    let job = |bandwidth: f64| {
+        Job::workload(
+            Workload::rotation_batch(HksBenchmark::ARK, 4),
+            Dataflow::OutputCentric,
+            PipelineMode::Fused,
+        )
+        .with_rpu(
+            RpuConfig::ciflow_streaming()
+                .with_bandwidth(bandwidth)
+                .with_memory_channels(4),
+        )
+    };
+
+    // Warm session: the second run of an identically-keyed job hits the
+    // cache — proven by Arc identity of the schedule — and everything the
+    // caller can observe is identical to the first (cold) run.
+    let warm = Session::new();
+    let cold = warm.run_job(&job(12.8)).unwrap();
+    let hit = warm.run_job(&job(12.8)).unwrap();
+    assert!(
+        Arc::ptr_eq(&cold.schedule, &hit.schedule),
+        "second run must reuse the cached schedule"
+    );
+    assert_stats_bit_identical(&cold.stats, &hit.stats);
+    assert_eq!(cold.kernels, hit.kernels);
+    assert_eq!(cold.kernel_benchmarks, hit.kernel_benchmarks);
+    assert_eq!(cold.forwarded_bytes, hit.forwarded_bytes);
+    assert_eq!(cold.strategy, hit.strategy);
+
+    // A different bandwidth shares the template (the schedule does not
+    // depend on timing parameters) but executes at its own speed.
+    let other_bw = warm.run_job(&job(64.0)).unwrap();
+    assert!(Arc::ptr_eq(&cold.schedule, &other_bw.schedule));
+    assert!(other_bw.stats.runtime_seconds < cold.stats.runtime_seconds);
+
+    // A fresh session (its own empty cache) rebuilds from scratch; the
+    // rebuilt schedule is a different allocation with identical contents,
+    // and the job output is bit-identical.
+    let fresh = Session::new().run_job(&job(12.8)).unwrap();
+    assert!(!Arc::ptr_eq(&cold.schedule, &fresh.schedule));
+    assert_eq!(*cold.schedule, *fresh.schedule);
+    assert_stats_bit_identical(&cold.stats, &fresh.stats);
+
+    // Opting out of the cache also rebuilds per job and still agrees.
+    let uncached_session = Session::new().without_schedule_cache();
+    let uncached_a = uncached_session.run_job(&job(12.8)).unwrap();
+    let uncached_b = uncached_session.run_job(&job(12.8)).unwrap();
+    assert!(!Arc::ptr_eq(&uncached_a.schedule, &uncached_b.schedule));
+    assert_eq!(*cold.schedule, *uncached_a.schedule);
+    assert_stats_bit_identical(&cold.stats, &uncached_a.stats);
+}
+
+#[test]
+fn batch_jobs_share_one_template_per_distinct_key() {
+    // A bandwidth-ladder batch (the sweep shape) must reuse one schedule per
+    // (workload, mode) across all its points, and distinct keys must not
+    // collide: fused and back-to-back get different schedules.
+    let workload = Workload::rotation_batch(HksBenchmark::DPRIVE, 3);
+    let session = Session::new().jobs(BANDWIDTH_LADDER.iter().flat_map(|&bw| {
+        [PipelineMode::Fused, PipelineMode::BackToBack].map(|mode| {
+            Job::workload(workload.clone(), Dataflow::OutputCentric, mode)
+                .with_rpu(RpuConfig::ciflow_streaming().with_bandwidth(bw))
+        })
+    }));
+    let outputs = session.run().into_outputs().unwrap();
+    assert_eq!(outputs.len(), 2 * BANDWIDTH_LADDER.len());
+    let fused = &outputs[0];
+    let back_to_back = &outputs[1];
+    assert!(!Arc::ptr_eq(&fused.schedule, &back_to_back.schedule));
+    for pair in outputs.chunks_exact(2) {
+        assert!(Arc::ptr_eq(&fused.schedule, &pair[0].schedule));
+        assert!(Arc::ptr_eq(&back_to_back.schedule, &pair[1].schedule));
+    }
+    // Per-benchmark single-kernel jobs at different parameter points must
+    // not share either.
+    let session = Session::new()
+        .job(HksBenchmark::ARK, Dataflow::OutputCentric)
+        .job(HksBenchmark::BTS1, Dataflow::OutputCentric)
+        .job(HksBenchmark::ARK, Dataflow::MaxParallel);
+    let outputs = session.run().into_outputs().unwrap();
+    assert!(!Arc::ptr_eq(&outputs[0].schedule, &outputs[1].schedule));
+    assert!(!Arc::ptr_eq(&outputs[0].schedule, &outputs[2].schedule));
+}

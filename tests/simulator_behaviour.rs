@@ -138,7 +138,7 @@ fn traces_cover_every_stage_and_are_time_consistent() {
         assert!(r.end_seconds <= result.stats.runtime_seconds + 1e-12);
     }
     let stages: std::collections::HashSet<&str> =
-        records.iter().map(|r| r.stage.as_str()).collect();
+        records.iter().map(|r| r.stage.as_ref()).collect();
     for expected in [
         "ModUp-P1",
         "ModUp-P2",

@@ -177,6 +177,6 @@ fn custom_strategies_pipeline_through_the_conservative_barrier() {
     engine.execute(&ws.schedule.graph).unwrap();
     // The second kernel's load waits for the first kernel's sink.
     let k1_load = &ws.schedule.graph.tasks()[3];
-    assert_eq!(k1_load.label, "k1:opaque read");
+    assert_eq!(&*k1_load.label, "k1:opaque read");
     assert_eq!(k1_load.dependencies, vec![2]);
 }
