@@ -22,6 +22,7 @@ use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
 use ciflow::hks_shape::HksShape;
 use ciflow::schedule::{build_schedule, ScheduleConfig};
+use ciflow::serve::{try_serve_in, ArrivalProcess, RequestClass, ServeConfig};
 use ciflow::sweep::{try_workload_sweep, BANDWIDTH_LADDER};
 use ciflow::workload::{PipelineMode, Workload};
 use rpu::{EvkPolicy, RpuConfig, RpuEngine, TraceMode};
@@ -76,6 +77,33 @@ impl WorkloadSweepPerf {
     }
 }
 
+/// Host cost of the fleet-scale serving simulator at a reference point: the
+/// standard ARK request mix, closed loop (8 clients, 96 requests) on a
+/// 4-device cluster at 64 GB/s under the OC dataflow. Two numbers matter:
+/// the *simulated* throughput (virtual requests per virtual second — a model
+/// output, stable across hosts) and the *host* wall time per simulated
+/// request (what serving one request costs the simulator itself, with the
+/// class schedules already cached).
+#[derive(Debug, Clone)]
+pub struct ServingPerf {
+    /// Devices in the reference cluster.
+    pub num_devices: usize,
+    /// Requests served per run.
+    pub requests: usize,
+    /// Simulated throughput of the reference run, in requests per virtual
+    /// second (deterministic — a model output, not a host measurement).
+    pub simulated_rps: f64,
+    /// Best-of-N host wall time of one full serving run, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl ServingPerf {
+    /// Host wall time per simulated request, in microseconds.
+    pub fn wall_us_per_request(&self) -> f64 {
+        self.wall_ms * 1e3 / self.requests as f64
+    }
+}
+
 /// The full report written to `BENCH_simulator.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -89,6 +117,8 @@ pub struct PerfReport {
     pub engine_execution: EngineExecutionPerf,
     /// Workload-sweep section (the acceptance benchmark).
     pub workload_sweep: WorkloadSweepPerf,
+    /// Serving-simulator section.
+    pub serving: ServingPerf,
 }
 
 /// Best-of-`iters` wall time of `f`, in milliseconds. Runs one untimed
@@ -202,6 +232,36 @@ fn measure_workload_sweep(iters: usize, bandwidths: &[f64]) -> WorkloadSweepPerf
     }
 }
 
+fn measure_serving(iters: usize) -> ServingPerf {
+    let config = ServeConfig::new(
+        4,
+        RequestClass::standard_mix(HksBenchmark::ARK),
+        ArrivalProcess::ClosedLoop {
+            concurrency: 8,
+            requests: 96,
+        },
+    )
+    .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(64.0))
+    .with_seed(1);
+    // One session across all iterations: the warm-up call inside `best_ms`
+    // builds the four class schedules, so the timed runs measure the serving
+    // layer itself (class re-execution from the cache plus the event loop).
+    let session = Session::new();
+    let mut simulated_rps = 0.0;
+    let wall_ms = best_ms(iters, || {
+        let report = try_serve_in(&session, &config, Dataflow::OutputCentric)
+            .expect("reference serving run succeeds");
+        simulated_rps = report.throughput_rps;
+        std::hint::black_box(report);
+    });
+    ServingPerf {
+        num_devices: config.cluster.num_devices,
+        requests: config.arrival.requests(),
+        simulated_rps,
+        wall_ms,
+    }
+}
+
 /// Runs every section with `iters` timed iterations over the full Fig-4
 /// bandwidth ladder.
 pub fn measure(iters: usize) -> PerfReport {
@@ -218,6 +278,7 @@ pub fn measure_with_ladder(iters: usize, bandwidths: &[f64]) -> PerfReport {
         schedule_generation: measure_schedule_generation(iters),
         engine_execution: measure_engine_execution(iters),
         workload_sweep: measure_workload_sweep(iters, bandwidths),
+        serving: measure_serving(iters),
     }
 }
 
@@ -255,9 +316,10 @@ impl PerfReport {
         let g = &self.schedule_generation;
         let e = &self.engine_execution;
         let w = &self.workload_sweep;
+        let s = &self.serving;
         format!(
             r#"{{
-  "schema": "ciflow.perf_report.v1",
+  "schema": "ciflow.perf_report.v2",
   "threads": {threads},
   "iterations": {iterations},
   "schedule_generation": {{
@@ -278,6 +340,14 @@ impl PerfReport {
     "baseline_ms": {baseline},
     "speedup": {speedup},
     "baseline_definition": "schedule rebuilt per bandwidth point + full per-task tracing (pre-overhaul run_job behavior)"
+  }},
+  "serving": {{
+    "num_devices": {serving_devices},
+    "requests": {serving_requests},
+    "simulated_rps": {serving_rps},
+    "wall_ms": {serving_wall},
+    "wall_us_per_request": {serving_us_per_request},
+    "reference_point": "standard ARK mix, closed loop c=8, OC, 4 RPUs @ 64 GB/s, warm schedule cache"
   }}
 }}
 "#,
@@ -295,6 +365,11 @@ impl PerfReport {
             optimized = json_f64(w.optimized_ms),
             baseline = json_f64(w.baseline_ms),
             speedup = json_f64(w.speedup()),
+            serving_devices = s.num_devices,
+            serving_requests = s.requests,
+            serving_rps = json_f64(s.simulated_rps),
+            serving_wall = json_f64(s.wall_ms),
+            serving_us_per_request = json_f64(s.wall_us_per_request()),
         )
     }
 
@@ -303,11 +378,14 @@ impl PerfReport {
         let g = &self.schedule_generation;
         let e = &self.engine_execution;
         let w = &self.workload_sweep;
+        let s = &self.serving;
         format!(
             "schedule generation : {} schedules in {:.2} ms ({:.3} ms each)\n\
              engine execution    : {} tasks, traced {:.3} ms, stats-only {:.3} ms\n\
              workload sweep      : {} x {} points x {} modes\n\
-             \x20 optimized {:.2} ms vs baseline {:.2} ms -> {:.2}x speedup\n",
+             \x20 optimized {:.2} ms vs baseline {:.2} ms -> {:.2}x speedup\n\
+             serving             : {} req on {} RPUs, {:.1} simulated req/s\n\
+             \x20 host {:.2} ms per run ({:.1} us per simulated request)\n",
             g.schedules,
             g.total_ms,
             g.total_ms / g.schedules as f64,
@@ -320,6 +398,11 @@ impl PerfReport {
             w.optimized_ms,
             w.baseline_ms,
             w.speedup(),
+            s.requests,
+            s.num_devices,
+            s.simulated_rps,
+            s.wall_ms,
+            s.wall_us_per_request(),
         )
     }
 }
@@ -329,7 +412,7 @@ impl PerfReport {
 /// positive number. Returns a description of the first problem found.
 pub fn validate_json(json: &str) -> Result<(), String> {
     for key in [
-        "\"schema\": \"ciflow.perf_report.v1\"",
+        "\"schema\": \"ciflow.perf_report.v2\"",
         "\"threads\"",
         "\"iterations\"",
         "\"schedule_generation\"",
@@ -348,6 +431,13 @@ pub fn validate_json(json: &str) -> Result<(), String> {
         "\"baseline_ms\"",
         "\"speedup\"",
         "\"baseline_definition\"",
+        "\"serving\"",
+        "\"num_devices\"",
+        "\"requests\"",
+        "\"simulated_rps\"",
+        "\"wall_ms\"",
+        "\"wall_us_per_request\"",
+        "\"reference_point\"",
     ] {
         if !json.contains(key) {
             return Err(format!("missing key {key}"));
@@ -398,6 +488,17 @@ pub fn validate_json(json: &str) -> Result<(), String> {
     if speedup.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(format!("speedup {speedup} is not positive"));
     }
+    let simulated_rps: f64 = json
+        .split("\"simulated_rps\": ")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '\n']).next())
+        .ok_or("simulated_rps field not found")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("simulated_rps does not parse: {e}"))?;
+    if simulated_rps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(format!("simulated_rps {simulated_rps} is not positive"));
+    }
     Ok(())
 }
 
@@ -417,6 +518,11 @@ mod tests {
         assert!(report.workload_sweep.optimized_ms > 0.0);
         assert!(report.workload_sweep.baseline_ms > 0.0);
         assert!(report.workload_sweep.speedup() > 0.0);
+        assert_eq!(report.serving.num_devices, 4);
+        assert_eq!(report.serving.requests, 96);
+        assert!(report.serving.simulated_rps > 0.0);
+        assert!(report.serving.wall_ms > 0.0);
+        assert!(report.serving.wall_us_per_request() > 0.0);
         let json = report.to_json();
         validate_json(&json).expect("rendered report must satisfy its schema");
         assert!(!report.render_text().is_empty());

@@ -40,6 +40,11 @@
 //! * [`runner`] / [`sweep`] — the legacy single-run wrapper and the
 //!   `Session`-powered bandwidth / MODOPS / evk-placement / workload sweeps
 //!   behind Figures 4–9 and Tables IV–V.
+//! * [`serve`] — the fleet-scale serving simulator: seeded arrival
+//!   processes (open- and closed-loop) feeding mixed request classes to a
+//!   cluster of simulated RPUs under pluggable dispatch policies, reporting
+//!   throughput, utilization, queue depths and latency percentiles on a
+//!   deterministic virtual clock (see `docs/SERVING.md`).
 //! * [`report`] — markdown / CSV / ASCII rendering of every table and figure.
 //! * [`functional`] — bit-exact validation that the Output-Centric
 //!   decomposition computes the same function as the reference CKKS key
@@ -117,6 +122,7 @@ mod parallel;
 pub mod report;
 pub mod runner;
 pub mod schedule;
+pub mod serve;
 pub mod sweep;
 pub mod workload;
 

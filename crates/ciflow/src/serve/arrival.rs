@@ -1,0 +1,281 @@
+//! Request-arrival processes: how traffic reaches the cluster.
+//!
+//! Two classic load-generation disciplines, both driven by one explicitly
+//! seeded [`SmallRng`] so a run is bit-reproducible from a `u64` seed:
+//!
+//! * **Open loop** — requests arrive on a Poisson-like process at a fixed
+//!   mean rate, regardless of how far the cluster has fallen behind. This is
+//!   the discipline that exposes queueing collapse: offered load above
+//!   capacity grows the queue without bound (here: until the configured
+//!   request budget is exhausted).
+//! * **Closed loop** — a fixed population of clients each keeps exactly one
+//!   request in flight, issuing the next the instant the previous one
+//!   completes (zero think time). Offered load self-throttles to the
+//!   cluster's capacity, which is what makes the concurrency-1 special case
+//!   an exact replay of a plain [`Session`](crate::api::Session) run.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// How requests arrive at the cluster. Both variants carry the total number
+/// of requests the simulation issues before draining.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ArrivalProcess {
+    /// Poisson-like arrivals at `rate_rps` requests per (virtual) second:
+    /// inter-arrival gaps are exponentially distributed with mean
+    /// `1 / rate_rps`.
+    OpenLoop {
+        /// Mean offered load in requests per second (must be finite and
+        /// positive).
+        rate_rps: f64,
+        /// Total requests to issue.
+        requests: usize,
+    },
+    /// `concurrency` clients, each with exactly one request in flight and
+    /// zero think time.
+    ClosedLoop {
+        /// Number of concurrent clients (must be positive).
+        concurrency: usize,
+        /// Total requests to issue.
+        requests: usize,
+    },
+}
+
+impl ArrivalProcess {
+    /// Total number of requests the process issues.
+    pub fn requests(&self) -> usize {
+        match self {
+            ArrivalProcess::OpenLoop { requests, .. }
+            | ArrivalProcess::ClosedLoop { requests, .. } => *requests,
+        }
+    }
+}
+
+impl std::fmt::Display for ArrivalProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrivalProcess::OpenLoop { rate_rps, requests } => {
+                write!(f, "open-loop {rate_rps} req/s x {requests}")
+            }
+            ArrivalProcess::ClosedLoop {
+                concurrency,
+                requests,
+            } => write!(f, "closed-loop c={concurrency} x {requests}"),
+        }
+    }
+}
+
+/// The arrival half of the simulation state: yields `(time, class)` pairs in
+/// non-decreasing time order, lazily, from the seeded generator.
+///
+/// RNG discipline (this is what makes runs bit-reproducible): every issued
+/// request consumes exactly two draws in a fixed order — the inter-arrival
+/// gap then the class — for the open loop, and exactly one draw (the class)
+/// for the closed loop, in issue order.
+pub(crate) struct ArrivalStream {
+    rng: SmallRng,
+    /// Cumulative class weights for the weighted draw.
+    cumulative: Vec<f64>,
+    total_weight: f64,
+    issued: usize,
+    total: usize,
+    kind: StreamKind,
+}
+
+enum StreamKind {
+    Open {
+        rate_rps: f64,
+        /// The next arrival, already drawn (time, class).
+        next: Option<(f64, usize)>,
+        /// Virtual time of the previous arrival.
+        last_time: f64,
+    },
+    Closed {
+        /// Arrivals triggered by completions, in non-decreasing time order.
+        pending: VecDeque<(f64, usize)>,
+    },
+}
+
+impl ArrivalStream {
+    /// Builds the stream; for the closed loop the initial client population
+    /// is issued immediately at virtual time 0.
+    pub(crate) fn new(process: ArrivalProcess, weights: &[f64], mut rng: SmallRng) -> Self {
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total_weight = 0.0;
+        for w in weights {
+            total_weight += w;
+            cumulative.push(total_weight);
+        }
+        let total = process.requests();
+        match process {
+            ArrivalProcess::OpenLoop { rate_rps, .. } => {
+                let mut stream = Self {
+                    rng,
+                    cumulative,
+                    total_weight,
+                    issued: 0,
+                    total,
+                    kind: StreamKind::Open {
+                        rate_rps,
+                        next: None,
+                        last_time: 0.0,
+                    },
+                };
+                stream.draw_next_open();
+                stream
+            }
+            ArrivalProcess::ClosedLoop { concurrency, .. } => {
+                let mut pending = VecDeque::new();
+                let initial = concurrency.min(total);
+                for _ in 0..initial {
+                    let class = draw_class(&mut rng, &cumulative, total_weight);
+                    pending.push_back((0.0, class));
+                }
+                Self {
+                    rng,
+                    cumulative,
+                    total_weight,
+                    issued: initial,
+                    total,
+                    kind: StreamKind::Closed { pending },
+                }
+            }
+        }
+    }
+
+    /// Time of the next arrival, if any.
+    pub(crate) fn peek_time(&self) -> Option<f64> {
+        match &self.kind {
+            StreamKind::Open { next, .. } => next.map(|(t, _)| t),
+            StreamKind::Closed { pending } => pending.front().map(|(t, _)| *t),
+        }
+    }
+
+    /// Consumes the next arrival.
+    pub(crate) fn pop(&mut self) -> Option<(f64, usize)> {
+        match &mut self.kind {
+            StreamKind::Open { next, .. } => {
+                let arrival = next.take();
+                if arrival.is_some() {
+                    self.draw_next_open();
+                }
+                arrival
+            }
+            StreamKind::Closed { pending } => pending.pop_front(),
+        }
+    }
+
+    /// Notifies the stream that a request completed at `time` — the hook
+    /// through which the closed loop issues its next request. No-op for the
+    /// open loop.
+    pub(crate) fn on_completion(&mut self, time: f64) {
+        if let StreamKind::Closed { pending } = &mut self.kind {
+            if self.issued < self.total {
+                let class = draw_class(&mut self.rng, &self.cumulative, self.total_weight);
+                pending.push_back((time, class));
+                self.issued += 1;
+            }
+        }
+    }
+
+    /// Draws the next open-loop arrival (gap then class), if budget remains.
+    fn draw_next_open(&mut self) {
+        let StreamKind::Open {
+            rate_rps,
+            next,
+            last_time,
+        } = &mut self.kind
+        else {
+            return;
+        };
+        if self.issued >= self.total {
+            *next = None;
+            return;
+        }
+        // Inverse-CDF exponential gap with mean 1/rate. `gen_range` yields
+        // u in [0, 1), so `1 - u` is in (0, 1] and the log is finite.
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let gap = -(1.0 - u).ln() / *rate_rps;
+        let time = *last_time + gap;
+        let class = draw_class(&mut self.rng, &self.cumulative, self.total_weight);
+        *last_time = time;
+        *next = Some((time, class));
+        self.issued += 1;
+    }
+}
+
+/// Weighted class draw: a uniform sample over the cumulative weight line.
+fn draw_class(rng: &mut SmallRng, cumulative: &[f64], total_weight: f64) -> usize {
+    let x: f64 = rng.gen_range(0.0..total_weight);
+    cumulative
+        .iter()
+        .position(|&c| x < c)
+        .unwrap_or(cumulative.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn open_loop_times_are_strictly_increasing_and_seed_stable() {
+        let process = ArrivalProcess::OpenLoop {
+            rate_rps: 100.0,
+            requests: 50,
+        };
+        let drain = |seed: u64| {
+            let mut stream =
+                ArrivalStream::new(process, &[0.5, 0.5], SmallRng::seed_from_u64(seed));
+            let mut out = Vec::new();
+            while let Some(a) = stream.pop() {
+                out.push(a);
+            }
+            out
+        };
+        let a = drain(7);
+        let b = drain(7);
+        let c = drain(8);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a, b, "same seed, same arrivals");
+        assert_ne!(a, c, "different seed, different arrivals");
+        for w in a.windows(2) {
+            assert!(w[1].0 > w[0].0, "gaps are positive");
+        }
+    }
+
+    #[test]
+    fn closed_loop_issues_up_to_concurrency_then_follows_completions() {
+        let process = ArrivalProcess::ClosedLoop {
+            concurrency: 3,
+            requests: 5,
+        };
+        let mut stream = ArrivalStream::new(process, &[1.0], SmallRng::seed_from_u64(1));
+        assert_eq!(stream.peek_time(), Some(0.0));
+        assert!(stream.pop().is_some());
+        assert!(stream.pop().is_some());
+        assert!(stream.pop().is_some());
+        assert_eq!(stream.peek_time(), None, "population exhausted");
+        stream.on_completion(2.5);
+        assert_eq!(stream.peek_time(), Some(2.5));
+        stream.on_completion(3.0);
+        assert!(stream.pop().is_some());
+        assert!(stream.pop().is_some());
+        stream.on_completion(4.0);
+        assert_eq!(stream.peek_time(), None, "request budget exhausted");
+    }
+
+    #[test]
+    fn zero_weight_classes_are_never_drawn() {
+        let process = ArrivalProcess::OpenLoop {
+            rate_rps: 10.0,
+            requests: 200,
+        };
+        let mut stream = ArrivalStream::new(process, &[0.0, 1.0, 0.0], SmallRng::seed_from_u64(3));
+        while let Some((_, class)) = stream.pop() {
+            assert_eq!(class, 1);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Dispatch policies: how queued requests are matched to idle devices.
+//!
+//! The simulator keeps one central queue; whenever a device is idle and the
+//! queue is non-empty, the configured [`DispatchPolicy`] decides which
+//! request runs where. Policies only choose *placement and order* — they
+//! never alter a request's service time — so the total busy time a run
+//! accumulates is policy-invariant; only waiting (and therefore latency and
+//! makespan) changes between policies.
+
+use serde::Serialize;
+
+/// The built-in request-to-device matching disciplines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum DispatchPolicy {
+    /// Strict arrival order; the head request takes the lowest-numbered idle
+    /// device.
+    Fifo,
+    /// Strict arrival order; the head request takes the idle device with the
+    /// least accumulated busy time (ties to the lowest index).
+    LeastLoaded,
+    /// Class-affinity batching: the head request prefers an idle device that
+    /// last served its class; failing that, the least-loaded idle device
+    /// serves the earliest queued request of *its* last class (out-of-order
+    /// batching), falling back to the head. Keeps same-class requests
+    /// flowing to the same device, which is what makes a warm schedule cache
+    /// per device plausible at fleet scale.
+    ClassAffinity,
+}
+
+impl DispatchPolicy {
+    /// All built-in policies, in the order reports list them.
+    pub fn all() -> [DispatchPolicy; 3] {
+        [
+            DispatchPolicy::Fifo,
+            DispatchPolicy::LeastLoaded,
+            DispatchPolicy::ClassAffinity,
+        ]
+    }
+}
+
+impl std::fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchPolicy::Fifo => write!(f, "fifo"),
+            DispatchPolicy::LeastLoaded => write!(f, "least-loaded"),
+            DispatchPolicy::ClassAffinity => write!(f, "class-affinity"),
+        }
+    }
+}

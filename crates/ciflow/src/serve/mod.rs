@@ -1,0 +1,193 @@
+//! Fleet-scale serving simulator: a served-traffic layer over the RPU
+//! cluster model.
+//!
+//! The rest of the crate answers "how long does one key-switch workload take
+//! on one RPU?". This module answers the next question up the stack: "what
+//! throughput and latency does a *fleet* of RPUs sustain under a stream of
+//! mixed requests?" — the serving view of the paper's design space.
+//!
+//! A serving run is described by a [`ServeConfig`]:
+//!
+//! * a [`ClusterConfig`] — `N` identical RPUs sharing one device
+//!   configuration (bandwidth, MODOPS, channels, evk policy);
+//! * a request mix — weighted [`RequestClass`]es built from the crate's
+//!   workload presets (rotation batches, relinearizations, bootstrap
+//!   key-switches, rescaling chains);
+//! * an [`ArrivalProcess`] — open-loop Poisson-like traffic at a fixed rate,
+//!   or a closed loop of fixed-concurrency clients;
+//! * a [`DispatchPolicy`] — FIFO, least-loaded, or class-affinity batching;
+//! * a `u64` seed.
+//!
+//! Requests never execute instruction-by-instruction inside the serving
+//! loop. Each distinct class is executed **once**, stats-only, through the
+//! regular [`Session`] path (hitting the session schedule cache), and the
+//! resulting deterministic runtime becomes the class's service time. A
+//! virtual-clock event simulation then plays the arrival stream against the
+//! fleet — no wall-clock anywhere — so a [`ServeReport`] is a pure,
+//! bit-reproducible function of the configuration and seed.
+//!
+//! ```
+//! use ciflow::benchmark::HksBenchmark;
+//! use ciflow::serve::{try_serve, ArrivalProcess, RequestClass, ServeConfig};
+//!
+//! let config = ServeConfig::new(
+//!     4,
+//!     RequestClass::standard_mix(HksBenchmark::ARK),
+//!     ArrivalProcess::ClosedLoop { concurrency: 8, requests: 64 },
+//! );
+//! let report = try_serve(&config, "OC").unwrap();
+//! assert_eq!(report.completed, 64);
+//! assert!(report.throughput_rps > 0.0);
+//! ```
+//!
+//! See `docs/SERVING.md` for the model in depth, and
+//! [`try_serve_sweep`](crate::sweep::try_serve_sweep) for sweeping cluster
+//! size, bandwidth, and strategy in one call.
+
+mod arrival;
+mod config;
+mod dispatch;
+mod report;
+mod request;
+mod sim;
+
+pub use arrival::ArrivalProcess;
+pub use config::{ClusterConfig, ServeConfig};
+pub use dispatch::DispatchPolicy;
+pub use report::{
+    ClassUsage, DeviceUsage, LatencySummary, QueueSummary, RequestRecord, ServeReport,
+};
+pub use request::{ClassWork, RequestClass};
+
+use crate::api::{Session, StrategySpec};
+use crate::error::CiflowError;
+
+/// Runs one serving simulation with the built-in strategy registry.
+///
+/// Convenience wrapper over [`try_serve_in`] with a fresh [`Session`]; when
+/// running many configurations (or a sweep) share one session so class
+/// schedules are built once.
+///
+/// # Errors
+///
+/// Returns [`CiflowError::InvalidConfig`] when the configuration fails
+/// [`ServeConfig::validate`], or any error the underlying schedule
+/// construction reports.
+pub fn try_serve(
+    config: &ServeConfig,
+    strategy: impl Into<StrategySpec>,
+) -> Result<ServeReport, CiflowError> {
+    try_serve_in(&Session::new(), config, strategy)
+}
+
+/// Runs one serving simulation inside an existing [`Session`] (custom
+/// strategy registries, shared schedule cache).
+///
+/// The session's own RPU configuration is ignored — every request runs on
+/// the cluster's per-device [`RpuConfig`](rpu::RpuConfig) — but its schedule
+/// cache and strategy registry are used, so repeated calls (a bandwidth
+/// sweep, a policy comparison) re-plan each request class only when the
+/// cached schedule cannot be reused.
+///
+/// # Errors
+///
+/// Returns [`CiflowError::InvalidConfig`] for structurally invalid
+/// configurations and propagates schedule-construction errors.
+pub fn try_serve_in(
+    session: &Session,
+    config: &ServeConfig,
+    strategy: impl Into<StrategySpec>,
+) -> Result<ServeReport, CiflowError> {
+    config.validate()?;
+    let spec: StrategySpec = strategy.into();
+
+    // One stats-only engine run per distinct class; its deterministic
+    // runtime is the class's service time for every request in the run.
+    let measured = crate::parallel::map(config.classes.clone(), |class| {
+        let job = class.job(spec.clone()).with_rpu(config.cluster.rpu.clone());
+        session.run_job(&job)
+    });
+    let mut service_seconds = Vec::with_capacity(measured.len());
+    let mut strategy_name = String::new();
+    for output in measured {
+        let output = output?;
+        strategy_name = output.strategy.clone();
+        service_seconds.push(output.stats.runtime_seconds);
+    }
+
+    let outcome = sim::simulate(config, &service_seconds);
+    Ok(sim::finish(
+        config,
+        strategy_name,
+        &service_seconds,
+        outcome,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::HksBenchmark;
+
+    #[test]
+    fn closed_loop_run_completes_every_request() {
+        let config = ServeConfig::new(
+            2,
+            RequestClass::standard_mix(HksBenchmark::ARK),
+            ArrivalProcess::ClosedLoop {
+                concurrency: 4,
+                requests: 24,
+            },
+        );
+        let report = try_serve(&config, "OC").expect("serving run succeeds");
+        assert_eq!(report.completed, 24);
+        assert_eq!(report.records.len(), 24);
+        assert_eq!(report.devices.len(), 2);
+        assert_eq!(
+            report.devices.iter().map(|d| d.served).sum::<usize>(),
+            24,
+            "every request is attributed to a device"
+        );
+        assert!(report.makespan_seconds > 0.0);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.latency.p50_ms <= report.latency.p95_ms);
+        assert!(report.latency.p95_ms <= report.latency.p99_ms);
+        assert!(report.latency.p99_ms <= report.latency.max_ms);
+    }
+
+    #[test]
+    fn invalid_configs_error_before_any_execution() {
+        let config = ServeConfig::new(
+            0,
+            RequestClass::standard_mix(HksBenchmark::ARK),
+            ArrivalProcess::ClosedLoop {
+                concurrency: 1,
+                requests: 1,
+            },
+        );
+        assert!(matches!(
+            try_serve(&config, "OC"),
+            Err(CiflowError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn every_policy_completes_an_open_loop_run() {
+        for policy in DispatchPolicy::all() {
+            let config = ServeConfig::new(
+                1,
+                vec![
+                    RequestClass::rotation_batch(HksBenchmark::ARK, 4, 0.5),
+                    RequestClass::relinearize(HksBenchmark::ARK, 0.5),
+                ],
+                ArrivalProcess::OpenLoop {
+                    rate_rps: 50.0,
+                    requests: 16,
+                },
+            )
+            .with_policy(policy);
+            let report = try_serve(&config, "OC").expect("serving run succeeds");
+            assert_eq!(report.completed, 16, "policy {policy} completes the run");
+        }
+    }
+}

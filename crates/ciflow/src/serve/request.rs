@@ -1,0 +1,173 @@
+//! Request classes: the unit of served work.
+//!
+//! A [`RequestClass`] names one kind of request the cluster serves — a
+//! single hybrid key switch or a whole multi-kernel [`Workload`] pipeline —
+//! together with the relative weight at which the arrival process draws it.
+//! The presets mirror the workload presets of [`crate::workload`]: rotation
+//! batches, relinearizations, the bootstrapping key-switch backbone, and
+//! rescaling chains at descending parameter points.
+
+use crate::api::{Job, StrategySpec};
+use crate::benchmark::HksBenchmark;
+use crate::workload::{PipelineMode, Workload};
+use serde::Serialize;
+
+/// What one request of a class executes on a device.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ClassWork {
+    /// A single hybrid key switch at one parameter point.
+    Single(HksBenchmark),
+    /// A multi-kernel workload pipeline, stitched in the given mode.
+    Pipeline {
+        /// The kernel sequence one request expands to.
+        workload: Workload,
+        /// Fused pipeline or back-to-back baseline.
+        mode: PipelineMode,
+    },
+}
+
+impl ClassWork {
+    /// Number of HKS kernel invocations one request of this work executes.
+    pub fn hks_invocations(&self) -> usize {
+        match self {
+            ClassWork::Single(_) => 1,
+            ClassWork::Pipeline { workload, .. } => workload.hks_invocations(),
+        }
+    }
+}
+
+/// One request class of a served mix: a name, the work a request executes,
+/// and the relative weight at which the arrival process draws the class.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RequestClass {
+    /// Human-readable class name (used in reports).
+    pub name: String,
+    /// The work one request of this class executes.
+    pub work: ClassWork,
+    /// Relative draw weight (need not sum to 1 across classes; must be
+    /// finite and non-negative, and at least one class must be positive).
+    pub weight: f64,
+}
+
+impl RequestClass {
+    /// A class serving one plain hybrid key switch per request.
+    pub fn single(benchmark: HksBenchmark, weight: f64) -> Self {
+        Self {
+            name: format!("ks-{}", benchmark.name),
+            work: ClassWork::Single(benchmark),
+            weight,
+        }
+    }
+
+    /// A class serving one fused [`Workload`] pipeline per request, named
+    /// after the workload.
+    pub fn pipeline(workload: Workload, weight: f64) -> Self {
+        Self {
+            name: workload.name.clone(),
+            work: ClassWork::Pipeline {
+                workload,
+                mode: PipelineMode::Fused,
+            },
+            weight,
+        }
+    }
+
+    /// Preset: a batch of `count` chained rotations (fused), the dominant
+    /// request shape of encrypted matrix-vector products.
+    pub fn rotation_batch(benchmark: HksBenchmark, count: usize, weight: f64) -> Self {
+        Self::pipeline(Workload::rotation_batch(benchmark, count), weight)
+    }
+
+    /// Preset: one relinearization after a ciphertext-ciphertext multiply.
+    pub fn relinearize(benchmark: HksBenchmark, weight: f64) -> Self {
+        Self {
+            name: format!("relin-{}", benchmark.name),
+            work: ClassWork::Single(benchmark),
+            weight,
+        }
+    }
+
+    /// Preset: the key-switch backbone of one bootstrapping iteration
+    /// (fused) — the heaviest request class.
+    pub fn bootstrap_key_switch(benchmark: HksBenchmark, weight: f64) -> Self {
+        Self::pipeline(Workload::bootstrap_key_switch(benchmark), weight)
+    }
+
+    /// Preset: a `levels`-deep multiply-relinearize-rescale chain at
+    /// descending parameter points (fused).
+    pub fn rescaling_chain(benchmark: HksBenchmark, levels: usize, weight: f64) -> Self {
+        Self::pipeline(Workload::rescaling_chain(benchmark, levels), weight)
+    }
+
+    /// The reference served mix used by the examples, benches and the perf
+    /// report: mostly rotation batches and relinearizations, with occasional
+    /// rescaling chains and rare (heavy) bootstrap key switches.
+    pub fn standard_mix(benchmark: HksBenchmark) -> Vec<RequestClass> {
+        vec![
+            Self::rotation_batch(benchmark, 8, 0.40),
+            Self::relinearize(benchmark, 0.35),
+            Self::rescaling_chain(benchmark, 4, 0.20),
+            Self::bootstrap_key_switch(benchmark, 0.05),
+        ]
+    }
+
+    /// The session job one request of this class executes (stats-only,
+    /// scheduled by `strategy` on the caller-chosen RPU).
+    pub(crate) fn job(&self, strategy: StrategySpec) -> Job {
+        match &self.work {
+            ClassWork::Single(benchmark) => Job::new(*benchmark, strategy),
+            ClassWork::Pipeline { workload, mode } => {
+                Job::workload(workload.clone(), strategy, *mode)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({} HKS, weight {})",
+            self.name,
+            self.work.hks_invocations(),
+            self.weight
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_expand_to_the_expected_kernel_counts() {
+        assert_eq!(
+            RequestClass::single(HksBenchmark::ARK, 1.0)
+                .work
+                .hks_invocations(),
+            1
+        );
+        assert_eq!(
+            RequestClass::rotation_batch(HksBenchmark::ARK, 8, 1.0)
+                .work
+                .hks_invocations(),
+            8
+        );
+        assert_eq!(
+            RequestClass::bootstrap_key_switch(HksBenchmark::ARK, 1.0)
+                .work
+                .hks_invocations(),
+            14
+        );
+        assert_eq!(
+            RequestClass::rescaling_chain(HksBenchmark::ARK, 4, 1.0)
+                .work
+                .hks_invocations(),
+            4
+        );
+        let mix = RequestClass::standard_mix(HksBenchmark::ARK);
+        assert_eq!(mix.len(), 4);
+        assert!(mix.iter().all(|c| c.weight > 0.0));
+        assert!(mix[0].to_string().contains("rot8"));
+    }
+}

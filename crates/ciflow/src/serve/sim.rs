@@ -1,0 +1,308 @@
+//! The virtual-clock event simulation behind [`try_serve`](super::try_serve).
+//!
+//! The simulation advances a virtual clock (f64 seconds) through two event
+//! kinds — request arrivals and device completions — and never consults wall
+//! time, so a run is a pure function of `(ServeConfig, strategy)`. Service
+//! times come from the engine: one stats-only execution per distinct request
+//! class (the session schedule cache means each class's schedule is built
+//! once), and every request of a class takes exactly that long, because the
+//! cluster's devices are identical and the engine is deterministic.
+//!
+//! Event ordering is fully specified so runs are bit-reproducible: the next
+//! event is the earliest of (pending completion, pending arrival), with
+//! completions processed first on ties (a freed device can serve a request
+//! arriving at the same instant); simultaneous completions order by device
+//! index, then issue id.
+
+use super::arrival::ArrivalStream;
+use super::config::ServeConfig;
+use super::dispatch::DispatchPolicy;
+use super::report::{
+    percentile, ClassUsage, DeviceUsage, LatencySummary, QueueSummary, RequestRecord, ServeReport,
+};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A scheduled completion event. Ordered for a max-heap of `Reverse`d
+/// entries: earliest time first, ties broken by device index then issue id.
+struct Completion {
+    time: f64,
+    device: usize,
+    id: usize,
+}
+
+impl PartialEq for Completion {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Completion {}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.device.cmp(&other.device))
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+/// One device's simulation state.
+#[derive(Debug, Clone)]
+struct Device {
+    busy: bool,
+    busy_seconds: f64,
+    served: usize,
+    /// Class of the most recently *dispatched* request (the affinity key).
+    last_class: Option<usize>,
+}
+
+/// A queued (arrived, not yet dispatched) request.
+struct Pending {
+    id: usize,
+    class: usize,
+    arrival: f64,
+}
+
+/// Runs the event simulation. `service_seconds[class]` is the deterministic
+/// per-request service time of each class; the caller (`try_serve_in`) has
+/// already validated the configuration and measured the classes.
+pub(crate) fn simulate(config: &ServeConfig, service_seconds: &[f64]) -> SimOutcome {
+    let num_devices = config.cluster.num_devices;
+    let mut devices = vec![
+        Device {
+            busy: false,
+            busy_seconds: 0.0,
+            served: 0,
+            last_class: None,
+        };
+        num_devices
+    ];
+    let mut arrivals = ArrivalStream::new(
+        config.arrival,
+        &config
+            .classes
+            .iter()
+            .map(|c| c.weight)
+            .collect::<Vec<f64>>(),
+        rand::SeedableRng::seed_from_u64(config.seed),
+    );
+    let mut queue: VecDeque<Pending> = VecDeque::new();
+    let mut running: BinaryHeap<std::cmp::Reverse<Completion>> = BinaryHeap::new();
+    let mut records: Vec<RequestRecord> = Vec::with_capacity(config.arrival.requests());
+
+    let mut clock = 0.0f64;
+    let mut queue_area = 0.0f64;
+    let mut max_depth = 0usize;
+
+    loop {
+        let next_completion = running.peek().map(|c| c.0.time);
+        let next_arrival = arrivals.peek_time();
+        let (time, completion_first) = match (next_completion, next_arrival) {
+            (None, None) => break,
+            (Some(c), None) => (c, true),
+            (None, Some(a)) => (a, false),
+            (Some(c), Some(a)) => {
+                if c <= a {
+                    (c, true)
+                } else {
+                    (a, false)
+                }
+            }
+        };
+        queue_area += queue.len() as f64 * (time - clock);
+        clock = time;
+
+        if completion_first {
+            let done = running.pop().expect("peeked completion exists").0;
+            let device = &mut devices[done.device];
+            device.busy = false;
+            device.served += 1;
+            // A closed-loop client reissues the instant its request returns.
+            arrivals.on_completion(clock);
+        } else {
+            let (arrival, class) = arrivals.pop().expect("peeked arrival exists");
+            let id = records.len();
+            records.push(RequestRecord {
+                id,
+                class,
+                device: usize::MAX,
+                arrival_seconds: arrival,
+                wait_seconds: 0.0,
+                service_seconds: 0.0,
+            });
+            queue.push_back(Pending { id, class, arrival });
+            max_depth = max_depth.max(queue.len());
+        }
+
+        // Match idle devices with queued requests until one side is empty.
+        while !queue.is_empty() {
+            let Some((device, position)) = pick(config.policy, &devices, &queue) else {
+                break;
+            };
+            let request = queue.remove(position).expect("picked position exists");
+            let service = service_seconds[request.class];
+            let record = &mut records[request.id];
+            record.device = device;
+            record.wait_seconds = clock - request.arrival;
+            record.service_seconds = service;
+            let d = &mut devices[device];
+            d.busy = true;
+            d.busy_seconds += service;
+            d.last_class = Some(request.class);
+            running.push(std::cmp::Reverse(Completion {
+                time: clock + service,
+                device,
+                id: request.id,
+            }));
+        }
+    }
+
+    SimOutcome {
+        makespan_seconds: clock,
+        queue_area,
+        max_depth,
+        devices,
+        records,
+    }
+}
+
+/// Chooses `(device, queue position)` for the next dispatch, or `None` when
+/// every device is busy. See [`DispatchPolicy`] for the disciplines.
+fn pick(
+    policy: DispatchPolicy,
+    devices: &[Device],
+    queue: &VecDeque<Pending>,
+) -> Option<(usize, usize)> {
+    let first_idle = devices.iter().position(|d| !d.busy)?;
+    let least_loaded_idle = || {
+        devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.busy)
+            .min_by(|(i, a), (j, b)| a.busy_seconds.total_cmp(&b.busy_seconds).then(i.cmp(j)))
+            .map(|(i, _)| i)
+            .expect("an idle device exists")
+    };
+    match policy {
+        DispatchPolicy::Fifo => Some((first_idle, 0)),
+        DispatchPolicy::LeastLoaded => Some((least_loaded_idle(), 0)),
+        DispatchPolicy::ClassAffinity => {
+            let head_class = queue.front().expect("queue is non-empty").class;
+            // The head request prefers an idle device warm for its class.
+            let warm = devices
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| !d.busy && d.last_class == Some(head_class))
+                .min_by(|(i, a), (j, b)| a.busy_seconds.total_cmp(&b.busy_seconds).then(i.cmp(j)))
+                .map(|(i, _)| i);
+            if let Some(device) = warm {
+                return Some((device, 0));
+            }
+            // Otherwise the least-loaded idle device batches the earliest
+            // queued request of its own last class, falling back to the head.
+            let device = least_loaded_idle();
+            let position = devices[device]
+                .last_class
+                .and_then(|class| queue.iter().position(|p| p.class == class))
+                .unwrap_or(0);
+            Some((device, position))
+        }
+    }
+}
+
+/// The raw simulation outcome, assembled into a [`ServeReport`] by
+/// [`finish`].
+pub(crate) struct SimOutcome {
+    makespan_seconds: f64,
+    queue_area: f64,
+    max_depth: usize,
+    devices: Vec<Device>,
+    records: Vec<RequestRecord>,
+}
+
+/// Assembles the report from the simulation outcome and the per-class
+/// service times.
+pub(crate) fn finish(
+    config: &ServeConfig,
+    strategy: String,
+    service_seconds: &[f64],
+    outcome: SimOutcome,
+) -> ServeReport {
+    let SimOutcome {
+        makespan_seconds,
+        queue_area,
+        max_depth,
+        devices,
+        records,
+    } = outcome;
+    let completed = records.len();
+    let throughput_rps = if makespan_seconds > 0.0 {
+        completed as f64 / makespan_seconds
+    } else {
+        0.0
+    };
+    let mut sorted_ms: Vec<f64> = records.iter().map(RequestRecord::latency_ms).collect();
+    sorted_ms.sort_by(f64::total_cmp);
+    let latency = LatencySummary {
+        mean_ms: sorted_ms.iter().sum::<f64>() / completed.max(1) as f64,
+        p50_ms: percentile(&sorted_ms, 50.0),
+        p95_ms: percentile(&sorted_ms, 95.0),
+        p99_ms: percentile(&sorted_ms, 99.0),
+        max_ms: *sorted_ms.last().expect("at least one request completed"),
+    };
+    let queue = QueueSummary {
+        max_depth,
+        mean_depth: if makespan_seconds > 0.0 {
+            queue_area / makespan_seconds
+        } else {
+            0.0
+        },
+    };
+    let device_usage = devices
+        .iter()
+        .enumerate()
+        .map(|(i, d)| DeviceUsage {
+            device: i,
+            served: d.served,
+            busy_seconds: d.busy_seconds,
+            utilization: if makespan_seconds > 0.0 {
+                d.busy_seconds / makespan_seconds
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    let class_usage = config
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, class)| ClassUsage {
+            name: class.name.clone(),
+            served: records.iter().filter(|r| r.class == i).count(),
+            service_ms: service_seconds[i] * 1e3,
+        })
+        .collect();
+    ServeReport {
+        strategy,
+        policy: config.policy,
+        seed: config.seed,
+        num_devices: config.cluster.num_devices,
+        bandwidth_gbps: config.cluster.rpu.dram_bandwidth_gbps,
+        completed,
+        makespan_seconds,
+        throughput_rps,
+        latency,
+        queue,
+        devices: device_usage,
+        classes: class_usage,
+        records,
+    }
+}

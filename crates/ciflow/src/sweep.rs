@@ -14,6 +14,7 @@ use crate::api::{Job, Session, StrategySpec};
 use crate::benchmark::HksBenchmark;
 use crate::dataflow::Dataflow;
 use crate::error::CiflowError;
+use crate::serve::{DispatchPolicy, ServeConfig};
 use crate::workload::{PipelineMode, Workload};
 use rpu::{EvkPolicy, RpuConfig};
 use serde::Serialize;
@@ -720,6 +721,130 @@ pub fn equivalent_configs(
             2.0,
             1024.0,
         ),
+    })
+}
+
+/// One point of a serving sweep: one cluster size at one per-device
+/// bandwidth, summarized. The full [`ServeReport`](crate::serve::ServeReport)
+/// (per-request records, per-device usage) is deliberately not retained —
+/// a sweep touches many points and only needs the headline numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ServeSweepPoint {
+    /// Number of devices in the cluster at this point.
+    pub num_devices: usize,
+    /// Per-device DRAM bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Completed requests per virtual second.
+    pub throughput_rps: f64,
+    /// Mean device utilization (1.0 = no device ever idle).
+    pub mean_utilization: f64,
+    /// Median latency in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Largest queue depth the point observed.
+    pub max_queue_depth: usize,
+}
+
+/// A serving sweep over cluster sizes × per-device bandwidths for one
+/// strategy, one dispatch policy and one seed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeSweep {
+    /// Strategy short name.
+    pub strategy: String,
+    /// Dispatch policy every point used.
+    pub policy: DispatchPolicy,
+    /// Arrival seed every point used.
+    pub seed: u64,
+    /// Sampled points: cluster sizes in the order given, each size swept
+    /// across the bandwidths in the order given (size-major).
+    pub points: Vec<ServeSweepPoint>,
+}
+
+/// Sweeps the serving simulator over `cluster_sizes` × `bandwidths`, holding
+/// the request mix, arrival process, dispatch policy and seed of `base`
+/// fixed. `base.cluster.num_devices` and the per-device bandwidth are
+/// overridden at every point; everything else (including the rest of the
+/// RPU configuration) is taken from `base`. Strategy names resolve against
+/// the built-in registry — use [`try_serve_sweep_in`] for custom registries.
+///
+/// Every point re-seeds its arrival process from `base.seed`, so the sweep
+/// is bit-reproducible and two calls with equal inputs compare equal.
+///
+/// # Errors
+///
+/// Returns [`CiflowError::InvalidConfig`] for an empty size or bandwidth
+/// ladder, or the first failing point's error (invalid configuration,
+/// unknown strategy, schedule failure).
+pub fn try_serve_sweep(
+    base: &ServeConfig,
+    strategy: impl Into<StrategySpec>,
+    cluster_sizes: &[usize],
+    bandwidths: &[f64],
+) -> Result<ServeSweep, CiflowError> {
+    try_serve_sweep_in(&Session::new(), base, strategy, cluster_sizes, bandwidths)
+}
+
+/// [`try_serve_sweep`] resolving strategy names through `session`'s registry
+/// and reusing its schedule cache — the request-class schedules are built
+/// once and shared by every point of the sweep (bandwidth is not part of
+/// the schedule cache key).
+///
+/// # Errors
+///
+/// Returns [`CiflowError::InvalidConfig`] for an empty size or bandwidth
+/// ladder, or the first failing point's error.
+pub fn try_serve_sweep_in(
+    session: &Session,
+    base: &ServeConfig,
+    strategy: impl Into<StrategySpec>,
+    cluster_sizes: &[usize],
+    bandwidths: &[f64],
+) -> Result<ServeSweep, CiflowError> {
+    let spec: StrategySpec = strategy.into();
+    if cluster_sizes.is_empty() {
+        return Err(CiflowError::InvalidConfig {
+            message: "serving sweep has an empty cluster-size ladder".to_string(),
+        });
+    }
+    if bandwidths.is_empty() {
+        return Err(CiflowError::InvalidConfig {
+            message: "serving sweep has an empty bandwidth ladder".to_string(),
+        });
+    }
+    let grid: Vec<(usize, f64)> = cluster_sizes
+        .iter()
+        .flat_map(|&n| bandwidths.iter().map(move |&bw| (n, bw)))
+        .collect();
+    let reports = crate::parallel::map(grid, |(num_devices, bandwidth)| {
+        let mut config = base.clone();
+        config.cluster.num_devices = num_devices;
+        config.cluster.rpu = base.cluster.rpu.clone().with_bandwidth(bandwidth);
+        crate::serve::try_serve_in(session, &config, spec.clone())
+    });
+    let mut strategy_name = spec.display_name();
+    let mut points = Vec::with_capacity(reports.len());
+    for report in reports {
+        let report = report?;
+        strategy_name = report.strategy.clone();
+        points.push(ServeSweepPoint {
+            num_devices: report.num_devices,
+            bandwidth_gbps: report.bandwidth_gbps,
+            throughput_rps: report.throughput_rps,
+            mean_utilization: report.mean_utilization(),
+            p50_ms: report.latency.p50_ms,
+            p95_ms: report.latency.p95_ms,
+            p99_ms: report.latency.p99_ms,
+            max_queue_depth: report.queue.max_depth,
+        });
+    }
+    Ok(ServeSweep {
+        strategy: strategy_name,
+        policy: base.policy,
+        seed: base.seed,
+        points,
     })
 }
 
