@@ -23,14 +23,14 @@ fn bench_ntt(c: &mut Criterion) {
                 let mut v = data.clone();
                 table.forward(&mut v);
                 v
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
             b.iter(|| {
                 let mut v = data.clone();
                 table.inverse(&mut v);
                 v
-            })
+            });
         });
     }
     group.finish();

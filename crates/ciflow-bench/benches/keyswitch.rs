@@ -35,10 +35,10 @@ fn bench_hybrid_key_switch(c: &mut Criterion) {
     let level = ctx.params().max_level();
     let d = sample_uniform(&mut rng, ctx.basis_q().clone(), Representation::Evaluation);
     c.bench_function("hybrid_key_switch/reference", |b| {
-        b.iter(|| ckks::keyswitch::hybrid_key_switch(&ctx, &d, level, &rlk))
+        b.iter(|| ckks::keyswitch::hybrid_key_switch(&ctx, &d, level, &rlk));
     });
     c.bench_function("hybrid_key_switch/output_centric", |b| {
-        b.iter(|| output_centric_key_switch(&ctx, &d, level, &rlk))
+        b.iter(|| output_centric_key_switch(&ctx, &d, level, &rlk));
     });
 }
 
@@ -55,10 +55,10 @@ fn bench_homomorphic_ops(c: &mut Criterion) {
     let pt = encoder.encode_real(&msg, ctx.params().scale(), ctx.basis_q().clone());
     let ct = encrypt(&ctx, &mut rng, &pk, &pt);
     c.bench_function("ops/multiply_relinearize", |b| {
-        b.iter(|| ops::multiply(&ctx, &ct, &ct, &rlk).unwrap())
+        b.iter(|| ops::multiply(&ctx, &ct, &ct, &rlk).unwrap());
     });
     c.bench_function("ops/rotate", |b| {
-        b.iter(|| ops::rotate(&ctx, &ct, 1, &rot).unwrap())
+        b.iter(|| ops::rotate(&ctx, &ct, 1, &rot).unwrap());
     });
 }
 

@@ -1,0 +1,118 @@
+//! `schedule_lint` — static verification gate over the preset gallery.
+//!
+//! Sweeps every built-in schedule the repository ships — the five Table-III
+//! benchmarks under all three dataflows and both evk policies, the workload
+//! pipeline presets under both stitching modes, and the serving request-class
+//! mix — through [`Session::verify`] across the 1/2/4/8 channel ladder, and
+//! exits nonzero if any schedule lints with an Error-severity finding. CI
+//! runs this, so a strategy or stitcher change that regresses deadlock
+//! freedom, buffer lifetimes, capacity or accounting fails the build before
+//! any simulation runs.
+
+use ciflow::api::Session;
+use ciflow::serve::{ClassWork, RequestClass};
+use ciflow::workload::{PipelineMode, Workload};
+use ciflow::{Dataflow, HksBenchmark, Job};
+use ciflow_bench::{rpu_for, section};
+use rpu::EvkPolicy;
+
+const CHANNEL_LADDER: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let mut session = Session::new();
+
+    // Single-kernel gallery: benchmarks x dataflows x evk policies x channels.
+    for benchmark in HksBenchmark::all() {
+        for dataflow in Dataflow::all() {
+            for policy in [EvkPolicy::OnChip, EvkPolicy::Streamed] {
+                for channels in CHANNEL_LADDER {
+                    session = session.push(
+                        Job::new(benchmark, dataflow)
+                            .with_rpu(rpu_for(policy, 64.0).with_memory_channels(channels))
+                            .with_label(format!(
+                                "kernel {} {dataflow} {policy:?} x{channels}",
+                                benchmark.name
+                            )),
+                    );
+                }
+            }
+        }
+    }
+
+    // Workload pipelines: presets x stitching modes x dataflows x channels.
+    let presets = [
+        Workload::rotation_batch(HksBenchmark::ARK, 4),
+        Workload::mul_rot_block(HksBenchmark::BTS2, 2),
+        Workload::bootstrap_key_switch(HksBenchmark::BTS3),
+        Workload::rescaling_chain(HksBenchmark::BTS1, 4),
+    ];
+    for workload in &presets {
+        for mode in [PipelineMode::Fused, PipelineMode::BackToBack] {
+            for dataflow in Dataflow::all() {
+                for channels in CHANNEL_LADDER {
+                    session = session.push(
+                        Job::workload(workload.clone(), dataflow, mode)
+                            .with_rpu(
+                                rpu_for(EvkPolicy::Streamed, 64.0).with_memory_channels(channels),
+                            )
+                            .with_label(format!(
+                                "workload {} {dataflow} {mode} x{channels}",
+                                workload.name
+                            )),
+                    );
+                }
+            }
+        }
+    }
+
+    // Serving request classes: the standard mix, as the fleet would run it.
+    for class in RequestClass::standard_mix(HksBenchmark::ARK) {
+        let job = match &class.work {
+            ClassWork::Single(benchmark) => Job::new(*benchmark, Dataflow::OutputCentric),
+            ClassWork::Pipeline { workload, mode } => {
+                Job::workload(workload.clone(), Dataflow::OutputCentric, *mode)
+            }
+        };
+        for channels in CHANNEL_LADDER {
+            session = session.push(
+                job.clone()
+                    .with_rpu(rpu_for(EvkPolicy::Streamed, 64.0).with_memory_channels(channels))
+                    .with_label(format!("serve {} x{channels}", class.name)),
+            );
+        }
+    }
+
+    section("schedule_lint: static verification of the preset gallery");
+    let results = session.verify();
+    let (mut clean, mut warned, mut failed) = (0usize, 0usize, 0usize);
+    for result in &results {
+        match &result.outcome {
+            Ok(report) if !report.has_errors() => {
+                let (_, warnings, notes) = report.counts();
+                if warnings > 0 || notes > 0 {
+                    warned += 1;
+                } else {
+                    clean += 1;
+                }
+            }
+            Ok(report) => {
+                failed += 1;
+                println!("FAIL {}", result.label);
+                for diagnostic in report.errors() {
+                    println!("     {diagnostic}");
+                }
+            }
+            Err(error) => {
+                failed += 1;
+                println!("FAIL {} (no schedule): {error}", result.label);
+            }
+        }
+    }
+    println!(
+        "{} schedules verified: {clean} clean, {warned} with warnings/notes, {failed} failing",
+        results.len()
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -45,7 +45,7 @@ fn run_ladder(benchmark: HksBenchmark, evk_policy: EvkPolicy) -> Vec<JobOutput> 
     let workload = Workload::rotation_batch(benchmark, ROTATIONS);
     let mut session = Session::new();
     for dataflow in Dataflow::all() {
-        for &bandwidth in BANDWIDTH_LADDER.iter() {
+        for &bandwidth in &BANDWIDTH_LADDER {
             for mode in [PipelineMode::BackToBack, PipelineMode::Fused] {
                 session =
                     session.push(Job::workload(workload.clone(), dataflow, mode).with_rpu(
@@ -175,7 +175,7 @@ fn render_channel_sweep(benchmark: HksBenchmark) {
     headers.extend(CHANNEL_LADDER.iter().map(|c| format!("idle {c}ch")));
     let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut rows = Vec::new();
-    for &bandwidth in CHANNEL_SWEEP_BANDWIDTHS.iter() {
+    for &bandwidth in &CHANNEL_SWEEP_BANDWIDTHS {
         let points = try_channel_sweep(
             &workload,
             Dataflow::OutputCentric,

@@ -272,7 +272,7 @@ pub fn measure(iters: usize) -> PerfReport {
 pub fn measure_with_ladder(iters: usize, bandwidths: &[f64]) -> PerfReport {
     PerfReport {
         threads: std::thread::available_parallelism()
-            .map(|p| p.get())
+            .map(std::num::NonZero::get)
             .unwrap_or(1),
         iterations: iters.max(1),
         schedule_generation: measure_schedule_generation(iters),

@@ -38,7 +38,9 @@ mod session;
 mod strategy;
 
 pub use registry::StrategyRegistry;
-pub use session::{BatchOutcome, Job, JobOutput, JobResult, Session, StrategySpec, WorkloadSpec};
+pub use session::{
+    BatchOutcome, Job, JobOutput, JobResult, Session, StrategySpec, VerifyResult, WorkloadSpec,
+};
 pub use strategy::{
     DigitCentricStrategy, MaxParallelStrategy, OutputCentricStrategy, ScheduleStrategy,
 };

@@ -303,6 +303,28 @@ pub struct JobResult {
     pub outcome: Result<JobOutput, CiflowError>,
 }
 
+/// One entry of a [`Session::verify`] sweep: the job description plus its
+/// static-analysis outcome.
+#[derive(Debug)]
+pub struct VerifyResult {
+    /// Label identifying the job (caller-supplied or generated).
+    pub label: String,
+    /// The parameter point of the job.
+    pub benchmark: HksBenchmark,
+    /// The strategy name the job requested.
+    pub strategy: String,
+    /// The lint report, or the error that prevented building the schedule.
+    pub outcome: Result<crate::lint::LintReport, CiflowError>,
+}
+
+impl VerifyResult {
+    /// True when the schedule was built and linted with no Error-severity
+    /// findings (warnings and notes are allowed).
+    pub fn is_ok(&self) -> bool {
+        matches!(&self.outcome, Ok(report) if !report.has_errors())
+    }
+}
+
 /// The per-job results of one [`Session::run`] batch, in submission order.
 #[derive(Debug, Default)]
 pub struct BatchOutcome {
@@ -377,6 +399,7 @@ pub struct Session {
     jobs: Vec<Job>,
     trace: TraceMode,
     cache: Option<ScheduleCache>,
+    cache_lint: bool,
 }
 
 impl std::fmt::Debug for Session {
@@ -412,6 +435,7 @@ impl Session {
             jobs: Vec::new(),
             trace: TraceMode::StatsOnly,
             cache: Some(Arc::new(Mutex::new(HashMap::new()))),
+            cache_lint: true,
         }
     }
 
@@ -436,6 +460,20 @@ impl Session {
     /// deterministic functions of `(shape, config)`.
     pub fn without_schedule_cache(mut self) -> Self {
         self.cache = None;
+        self
+    }
+
+    /// Disables the debug-build lint check on freshly built schedules.
+    ///
+    /// Debug builds lint every schedule template the session builds
+    /// ([`crate::lint::lint_with`]) and panic on an Error-severity finding,
+    /// so a broken strategy fails loudly and early at its construction site
+    /// rather than as a mid-run engine error. A strategy that *intentionally*
+    /// produces diagnostics (e.g. a test fixture exercising the runtime
+    /// deadlock path) can opt out with this. Release builds never pay for
+    /// the check.
+    pub fn without_cache_lint(mut self) -> Self {
+        self.cache_lint = false;
         self
     }
 
@@ -567,13 +605,16 @@ impl Session {
         let strategy = self.job_strategy(job)?;
         let config = self.job_schedule_config(job);
         let Some(cache) = &self.cache else {
-            return Ok(Arc::new(self.build_plan(job, &strategy, &config)?));
+            let plan = Arc::new(self.build_plan(job, &strategy, &config)?);
+            self.debug_lint_plan(job, &plan);
+            return Ok(plan);
         };
         let key = ScheduleKey::new(&strategy, &config, Self::work_key(job));
         if let Some(plan) = cache.lock().expect("schedule cache poisoned").get(&key) {
             return Ok(Arc::clone(plan));
         }
         let plan = Arc::new(self.build_plan(job, &strategy, &config)?);
+        self.debug_lint_plan(job, &plan);
         // First insert wins, so concurrent cold builders converge on one
         // shared plan (and one shared `Arc<Schedule>` identity).
         Ok(Arc::clone(
@@ -616,6 +657,71 @@ impl Session {
             forwarded_bytes,
             channel_maps: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// Debug-build guard on the schedule-build path: lint every freshly
+    /// built plan against the job's target and panic on Error-severity
+    /// findings, so broken strategies are caught where the schedule is
+    /// constructed. Compiled out of release builds; opt out with
+    /// [`Session::without_cache_lint`].
+    fn debug_lint_plan(&self, job: &Job, plan: &CachedPlan) {
+        if cfg!(debug_assertions) && self.cache_lint {
+            let rpu = job.rpu.as_ref().unwrap_or(&self.rpu);
+            let map = plan.channel_map(rpu.memory_channel_count());
+            let report = crate::lint::lint_with(&plan.schedule, &plan.kernel_benchmarks, rpu, &map);
+            debug_assert!(
+                !report.has_errors(),
+                "strategy {} built a schedule that fails `ciflow::lint` (disable with \
+                 Session::without_cache_lint if intentional):\n{report}",
+                plan.schedule.strategy,
+            );
+        }
+    }
+
+    /// Statically verifies one job's schedule — structural, deadlock,
+    /// buffer-hazard, capacity and placement passes — against the
+    /// configuration it would execute on, *without running it*. Builds (or
+    /// fetches from the schedule cache) exactly the plan and channel map
+    /// [`Session::run_job`] would use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates strategy-resolution or schedule-construction failures; a
+    /// schedule that merely *lints badly* is an `Ok` report with errors in
+    /// it, so callers can gate on [`LintReport::has_errors`](crate::lint::LintReport::has_errors).
+    pub fn verify_job(&self, job: &Job) -> Result<crate::lint::LintReport, CiflowError> {
+        let plan = self.plan_for(job)?;
+        let rpu = job.rpu.as_ref().unwrap_or(&self.rpu);
+        let map = plan.channel_map(rpu.memory_channel_count());
+        Ok(crate::lint::lint_with(
+            &plan.schedule,
+            &plan.kernel_benchmarks,
+            rpu,
+            &map,
+        ))
+    }
+
+    /// Statically verifies every queued job (in submission order) without
+    /// executing any of them: the batch-shaped counterpart of
+    /// [`Session::run`], with a [`LintReport`](crate::lint::LintReport) where
+    /// the stats would be. Panicking strategies fail their own entry, like
+    /// in `run`.
+    pub fn verify(&self) -> Vec<VerifyResult> {
+        self.jobs
+            .iter()
+            .map(|job| VerifyResult {
+                label: self.job_label(job),
+                benchmark: job.effective_benchmark(),
+                strategy: job.strategy_name(),
+                outcome: match catch_unwind(AssertUnwindSafe(|| self.verify_job(job))) {
+                    Ok(outcome) => outcome,
+                    Err(payload) => Err(CiflowError::StrategyPanicked {
+                        strategy: job.strategy_name(),
+                        message: panic_message(payload.as_ref()),
+                    }),
+                },
+            })
+            .collect()
     }
 
     /// Executes a single job immediately (no panic isolation, no queueing).
@@ -738,6 +844,41 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 mod tests {
     use super::*;
     use rpu::EvkPolicy;
+
+    #[test]
+    fn verify_lints_queued_jobs_without_executing() {
+        use crate::workload::{PipelineMode, Workload};
+
+        let session = Session::new()
+            .job(HksBenchmark::ARK, Dataflow::OutputCentric)
+            .push(
+                Job::workload(
+                    Workload::rescaling_chain(HksBenchmark::BTS2, 3),
+                    Dataflow::MaxParallel,
+                    PipelineMode::Fused,
+                )
+                .with_rpu(RpuConfig::ciflow_baseline().with_memory_channels(4)),
+            )
+            .job(HksBenchmark::ARK, "zig-zag");
+        let results = session.verify();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok(), "{:?}", results[0].outcome);
+        assert!(results[1].is_ok(), "{:?}", results[1].outcome);
+        // Unresolvable strategies fail their entry, like in `run`.
+        assert!(!results[2].is_ok());
+        assert!(matches!(
+            results[2].outcome,
+            Err(CiflowError::UnknownStrategy { .. })
+        ));
+
+        // verify_job reuses the session's schedule cache: the subsequent run
+        // hands back the very same Arc'd schedule the verification linted.
+        let job = Job::new(HksBenchmark::ARK, Dataflow::OutputCentric);
+        let report = session.verify_job(&job).unwrap();
+        assert!(!report.has_errors(), "{report}");
+        let output = session.run_job(&job).unwrap();
+        assert_eq!(output.strategy, "OC");
+    }
 
     #[test]
     fn single_job_matches_legacy_runner() {

@@ -103,8 +103,10 @@ mod tests {
 
     #[test]
     fn descriptions_are_distinct() {
-        let set: std::collections::HashSet<_> =
-            Dataflow::all().iter().map(|d| d.description()).collect();
+        let set: std::collections::HashSet<_> = Dataflow::all()
+            .iter()
+            .map(super::Dataflow::description)
+            .collect();
         assert_eq!(set.len(), 3);
     }
 

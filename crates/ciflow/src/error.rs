@@ -151,10 +151,16 @@ mod tests {
         let engine: CiflowError = rpu::EngineError::Deadlock {
             compute_head: Some(3),
             memory_heads: vec![(0, 7)],
+            head_labels: vec![(3, "ntt x".into()), (7, "load y".into())],
+            wait_chain: vec![(3, "ntt x".into()), (7, "load y".into())],
         }
         .into();
         assert!(std::error::Error::source(&engine).is_some());
-        assert!(engine.to_string().contains("deadlock"));
+        let text = engine.to_string();
+        // The runtime report names the stuck heads and cites the matching
+        // static lint code so dynamic and static diagnoses align.
+        assert!(text.contains("deadlock"), "{text}");
+        assert!(text.contains("load y") && text.contains("D001"), "{text}");
 
         let math: CiflowError =
             hemath::HemathError::from(hemath::poly::RnsError::BasisMismatch).into();

@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn stage_labels_are_unique() {
         let labels: std::collections::HashSet<_> =
-            HksStage::all().iter().map(|s| s.label()).collect();
+            HksStage::all().iter().map(super::HksStage::label).collect();
         assert_eq!(labels.len(), 9);
         assert_eq!(HksStage::ModUpBconv.to_string(), "ModUp-P2");
     }

@@ -28,6 +28,12 @@
 //!   [`Dataflow`] is a thin compatibility shim over the strategy API.
 //! * [`analysis`] — DRAM traffic, arithmetic intensity and minimum-memory
 //!   analysis (Tables II and III).
+//! * [`lint`] — static schedule verification: a deadlock-freedom proof over
+//!   the engine's queue semantics plus buffer-lifetime, capacity, placement
+//!   and accounting checks, emitted as structured diagnostics *before*
+//!   anything executes (catalogue in `docs/LINTS.md`; also
+//!   [`Session::verify`](api::Session::verify) and the `schedule_lint` CI
+//!   gate).
 //! * [`workload`] — multi-kernel pipelines: chained HKS invocations
 //!   (rotation batches, relinearizations, the bootstrapping key-switch
 //!   backbone) fused into one task graph so the memory queue prefetches the
@@ -118,6 +124,7 @@ pub mod dataflow;
 pub mod error;
 pub mod functional;
 pub mod hks_shape;
+pub mod lint;
 mod parallel;
 pub mod report;
 pub mod runner;
@@ -128,11 +135,13 @@ pub mod workload;
 
 pub use api::{
     BatchOutcome, Job, JobOutput, JobResult, ScheduleStrategy, Session, StrategyRegistry,
+    VerifyResult,
 };
 pub use benchmark::HksBenchmark;
 pub use dataflow::Dataflow;
 pub use error::CiflowError;
 pub use hks_shape::{HksShape, HksStage};
+pub use lint::{lint_schedule, lint_workload, LintReport};
 pub use runner::{HksRun, HksRunResult};
 pub use schedule::{build_schedule, Schedule, ScheduleConfig};
 pub use workload::{

@@ -114,7 +114,7 @@ pub fn try_bandwidth_sweep_in(
     sweep_series(
         session,
         benchmark.name,
-        strategy.into(),
+        &strategy.into(),
         bandwidths,
         evk_policy,
         modops,
@@ -128,7 +128,7 @@ pub fn try_bandwidth_sweep_in(
 fn sweep_series(
     session: &Session,
     benchmark: &'static str,
-    spec: StrategySpec,
+    spec: &StrategySpec,
     bandwidths: &[f64],
     evk_policy: EvkPolicy,
     modops: f64,
@@ -210,7 +210,7 @@ pub fn try_workload_sweep_in(
     sweep_series(
         session,
         workload.benchmark.name,
-        strategy.into(),
+        &strategy.into(),
         bandwidths,
         evk_policy,
         modops,
@@ -519,7 +519,7 @@ pub fn ocbase_row(benchmark: HksBenchmark) -> OcBaseRow {
     // The paper picks OCbase from the discrete ladder; do the same so the
     // "saved bandwidth" factors are comparable.
     let mut ocbase = BASELINE_BANDWIDTH_GBPS;
-    for &bw in BANDWIDTH_LADDER.iter() {
+    for &bw in &BANDWIDTH_LADDER {
         if bw > BASELINE_BANDWIDTH_GBPS {
             break;
         }

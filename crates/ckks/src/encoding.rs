@@ -262,7 +262,12 @@ impl CkksEncoder {
         let n = self.ring_degree;
         let nh = n / 2;
         let moduli = poly.basis().moduli().to_vec();
-        let q_product = UBig::product(&moduli.iter().map(|m| m.value()).collect::<Vec<_>>());
+        let q_product = UBig::product(
+            &moduli
+                .iter()
+                .map(hemath::Modulus::value)
+                .collect::<Vec<_>>(),
+        );
         let half_q = {
             let (half, _) = q_product.div_rem(&UBig::from_u64(2));
             half

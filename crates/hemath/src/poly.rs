@@ -303,7 +303,7 @@ impl RnsPolynomial {
         self.basis
             .moduli()
             .iter()
-            .zip(self.towers.iter().map(|t| t.as_slice()))
+            .zip(self.towers.iter().map(Vec::as_slice))
     }
 
     /// Consumes the polynomial and returns its raw towers.

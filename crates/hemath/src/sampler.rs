@@ -41,7 +41,7 @@ pub fn sample_ternary<R: Rng + ?Sized>(
     let mut coeffs = vec![0i64; n];
     match hamming_weight {
         None => {
-            for c in coeffs.iter_mut() {
+            for c in &mut coeffs {
                 *c = rng.gen_range(-1..=1);
             }
         }

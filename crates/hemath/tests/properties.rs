@@ -99,7 +99,7 @@ fn ring_setup(towers: usize) -> (Arc<RnsBasis>, usize) {
 
 fn arb_poly(basis: Arc<RnsBasis>) -> impl Strategy<Value = RnsPolynomial> {
     let n = basis.degree();
-    let moduli: Vec<u64> = basis.moduli().iter().map(|m| m.value()).collect();
+    let moduli: Vec<u64> = basis.moduli().iter().map(hemath::Modulus::value).collect();
     proptest::collection::vec(any::<u64>(), n * moduli.len()).prop_map(move |raw| {
         let towers: Vec<Vec<u64>> = moduli
             .iter()

@@ -81,20 +81,31 @@ impl ChannelMap {
     /// `0..num_channels` are dropped; a rule left with no valid channels is
     /// ignored. The empty pattern matches every label, making it a catch-all
     /// for the remaining traffic.
+    ///
+    /// Rules win in insertion order, so a rule added *after* one whose
+    /// pattern is a substring of it (in particular, after a catch-all) can
+    /// never match; that is always a construction bug and is rejected by a
+    /// debug assertion (and flagged as lint `P001` by `ciflow::lint`).
     pub fn with_pin(
         mut self,
         pattern: impl Into<String>,
         channels: impl IntoIterator<Item = usize>,
     ) -> Self {
+        let pattern = pattern.into();
+        debug_assert!(
+            !self
+                .rules
+                .iter()
+                .any(|rule| pattern.contains(rule.pattern.as_str())),
+            "pin rule {pattern:?} is unreachable: an earlier rule's pattern is a substring of \
+             it, so every label it matches is already claimed (rules win in insertion order)",
+        );
         let channels: Vec<usize> = channels
             .into_iter()
             .filter(|&c| c < self.num_channels)
             .collect();
         if !channels.is_empty() {
-            self.rules.push(PinRule {
-                pattern: pattern.into(),
-                channels,
-            });
+            self.rules.push(PinRule { pattern, channels });
         }
         self
     }
@@ -102,6 +113,14 @@ impl ChannelMap {
     /// Number of channels this map distributes over (always at least 1).
     pub fn num_channels(&self) -> usize {
         self.num_channels
+    }
+
+    /// The pin rules in match order, as `(pattern, channels)` pairs. Lint
+    /// passes use this to prove every rule is reachable and matches traffic.
+    pub fn rules(&self) -> impl Iterator<Item = (&str, &[usize])> {
+        self.rules
+            .iter()
+            .map(|rule| (rule.pattern.as_str(), rule.channels.as_slice()))
     }
 
     /// The channel the named buffer lives on. Always `< num_channels`.
@@ -123,7 +142,24 @@ impl ChannelMap {
 /// placement keys on the buffer identity — the same DRAM data lives on the
 /// same channel no matter which kernel instance or operation touches it, so
 /// a spilled buffer's writeback and its later reload share a channel.
-fn canonical_label(label: &str) -> &str {
+pub fn canonical_label(label: &str) -> &str {
+    split_label(label).1
+}
+
+/// Splits a task label into its operation verb and the canonical buffer it
+/// names, after stripping a `k<digits>:` kernel prefix. Labels that carry no
+/// recognized verb (custom strategies are free to label however they like)
+/// return `(None, stripped label)`. This is the shared vocabulary between
+/// the schedule builders, the channel placement and the `ciflow::lint`
+/// buffer-lifetime pass.
+///
+/// ```
+/// use rpu::channel::split_label;
+/// assert_eq!(split_label("k2:spill acc0[1]"), (Some("spill"), "acc0[1]"));
+/// assert_eq!(split_label("load in[3]"), (Some("load"), "in[3]"));
+/// assert_eq!(split_label("ntt tower 3"), (None, "ntt tower 3"));
+/// ```
+pub fn split_label(label: &str) -> (Option<&'static str>, &str) {
     let label = if let Some(rest) = label.strip_prefix('k') {
         match rest.split_once(':') {
             Some((digits, tail))
@@ -136,12 +172,12 @@ fn canonical_label(label: &str) -> &str {
     } else {
         label
     };
-    for verb in ["load ", "store ", "spill ", "park "] {
-        if let Some(buffer) = label.strip_prefix(verb) {
-            return buffer;
+    for verb in ["load", "store", "spill", "park"] {
+        if let Some(buffer) = label.strip_prefix(verb).and_then(|r| r.strip_prefix(' ')) {
+            return (Some(verb), buffer);
         }
     }
-    label
+    (None, label)
 }
 
 /// 64-bit FNV-1a: stable across runs, platforms and Rust versions (unlike

@@ -44,7 +44,7 @@
 use crate::channel::ChannelMap;
 use crate::config::RpuConfig;
 use crate::stats::ExecutionStats;
-use crate::task::{Task, TaskGraph, TaskId, TaskKind};
+use crate::task::{Label, Task, TaskGraph, TaskId, TaskKind};
 use crate::trace::{EngineQueue, ExecutionTrace, TaskRecord};
 use std::sync::Arc;
 
@@ -69,13 +69,24 @@ pub enum TraceMode {
 pub enum EngineError {
     /// No queue head can make progress: the schedule has a cross-queue
     /// ordering cycle (a generator bug). See the deadlock section of
-    /// `docs/MEMORY_MODEL.md` for how such cycles arise.
+    /// `docs/MEMORY_MODEL.md` for how such cycles arise. The same condition
+    /// is statically detectable *before* execution as lint `D001`
+    /// ([`crate::verify::lint_deadlock`], catalogued in `docs/LINTS.md`);
+    /// `wait_chain` here is the runtime witness of exactly that cycle.
     Deadlock {
         /// Task at the head of the compute queue, if any.
         compute_head: Option<TaskId>,
         /// The blocked `(channel, head task)` pairs of the non-empty memory
         /// queues.
         memory_heads: Vec<(usize, TaskId)>,
+        /// The labels of every blocked queue head (compute first, then the
+        /// memory heads in channel order) — what the stuck transfers and
+        /// kernels actually *are*, not just their ids.
+        head_labels: Vec<(TaskId, Label)>,
+        /// The shortest wait-for cycle found among the blocked heads: each
+        /// task waits — through a dependency or its in-order queue — for the
+        /// next, and the last waits for the first.
+        wait_chain: Vec<(TaskId, Label)>,
     },
 }
 
@@ -85,10 +96,32 @@ impl std::fmt::Display for EngineError {
             EngineError::Deadlock {
                 compute_head,
                 memory_heads,
-            } => write!(
-                f,
-                "schedule deadlock: compute head {compute_head:?}, memory heads {memory_heads:?}"
-            ),
+                head_labels,
+                wait_chain,
+            } => {
+                write!(
+                    f,
+                    "schedule deadlock [lint D001]: compute head {compute_head:?}, memory heads \
+                     {memory_heads:?}"
+                )?;
+                if !head_labels.is_empty() {
+                    let heads = head_labels
+                        .iter()
+                        .map(|(t, label)| format!("{t}(`{label}`)"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    write!(f, "; blocked on {heads}")?;
+                }
+                if let Some((first, _)) = wait_chain.first() {
+                    let chain = wait_chain
+                        .iter()
+                        .map(|(t, label)| format!("{t}(`{label}`)"))
+                        .collect::<Vec<_>>()
+                        .join(" -> ");
+                    write!(f, "; wait-for cycle {chain} -> {first}")?;
+                }
+                write!(f, " (see docs/LINTS.md#d001)")
+            }
         }
     }
 }
@@ -322,16 +355,14 @@ impl RpuEngine {
                     if exhausted {
                         break;
                     }
-                    return Err(EngineError::Deadlock {
-                        compute_head: compute_queue.get(ci).copied(),
-                        memory_heads: memory_queues
-                            .iter()
-                            .enumerate()
-                            .filter_map(|(channel, queue)| {
-                                queue.get(mi[channel]).map(|&head| (channel, head))
-                            })
-                            .collect(),
-                    });
+                    return Err(deadlock_error(
+                        tasks,
+                        &compute_queue,
+                        ci,
+                        &memory_queues,
+                        &mi,
+                        &remaining,
+                    ));
                 }
             };
 
@@ -388,6 +419,106 @@ impl RpuEngine {
 
         stats.runtime_seconds = makespan;
         Ok(stats)
+    }
+}
+
+/// Builds the enriched [`EngineError::Deadlock`] at the point where no queue
+/// head can progress and nothing is in flight: reconstructs which tasks are
+/// done (exactly the queue prefixes — everything issued has completed),
+/// collects the blocked heads' labels, and walks the wait-for relation from
+/// each blocked head to find the shortest wait-for cycle. "t waits for u"
+/// when u is t's first unfinished dependency, or — for a task whose
+/// dependencies are all met but which is stuck behind its in-order queue —
+/// when u is t's queue head. This is the runtime witness of the augmented
+/// cycle that [`crate::verify::lint_deadlock`] (lint `D001`) detects
+/// statically.
+fn deadlock_error(
+    tasks: &[Task],
+    compute_queue: &[TaskId],
+    ci: usize,
+    memory_queues: &[Vec<TaskId>],
+    mi: &[usize],
+    remaining: &[u32],
+) -> EngineError {
+    let n = tasks.len();
+    let compute_head = compute_queue.get(ci).copied();
+    let memory_heads: Vec<(usize, TaskId)> = memory_queues
+        .iter()
+        .enumerate()
+        .filter_map(|(channel, queue)| queue.get(mi[channel]).map(|&head| (channel, head)))
+        .collect();
+    let heads: Vec<TaskId> = compute_head
+        .into_iter()
+        .chain(memory_heads.iter().map(|&(_, head)| head))
+        .collect();
+    let head_labels: Vec<(TaskId, Label)> = heads
+        .iter()
+        .map(|&t| (t, Arc::clone(&tasks[t].label)))
+        .collect();
+
+    // Done set and queue-head index. Nothing is in flight, so precisely the
+    // queue prefixes have retired.
+    let mut done = vec![false; n];
+    let mut queue_head: Vec<Option<TaskId>> = vec![None; n];
+    for (queue, &cursor) in
+        std::iter::once((compute_queue, &ci)).chain(memory_queues.iter().map(Vec::as_slice).zip(mi))
+    {
+        for &t in &queue[..cursor] {
+            done[t] = true;
+        }
+        if let Some(&head) = queue.get(cursor) {
+            for &t in &queue[cursor..] {
+                queue_head[t] = Some(head);
+            }
+        }
+    }
+
+    // From each blocked head, follow the wait-for relation until a task
+    // repeats; keep the shortest cycle found. Every unfinished task waits
+    // for *some* unfinished task (an unmet dependency, else its queue head,
+    // which is distinct because a ready head would have issued), so the walk
+    // always closes a cycle within n steps.
+    let mut wait_chain: Vec<TaskId> = Vec::new();
+    let mut position: Vec<Option<usize>> = vec![None; n];
+    for &start in &heads {
+        let mut path: Vec<TaskId> = Vec::new();
+        let mut cursor = start;
+        let cycle = loop {
+            if let Some(at) = position[cursor] {
+                break &path[at..];
+            }
+            position[cursor] = Some(path.len());
+            path.push(cursor);
+            cursor = match (remaining[cursor] > 0)
+                .then(|| {
+                    tasks[cursor]
+                        .dependencies
+                        .iter()
+                        .copied()
+                        .find(|&d| !done[d])
+                })
+                .flatten()
+            {
+                Some(dep) => dep,
+                None => queue_head[cursor].expect("a blocked task is in a queue"),
+            };
+        };
+        if wait_chain.is_empty() || cycle.len() < wait_chain.len() {
+            wait_chain = cycle.to_vec();
+        }
+        for &t in &path {
+            position[t] = None;
+        }
+    }
+
+    EngineError::Deadlock {
+        compute_head,
+        memory_heads,
+        head_labels,
+        wait_chain: wait_chain
+            .into_iter()
+            .map(|t| (t, Arc::clone(&tasks[t].label)))
+            .collect(),
     }
 }
 
@@ -590,7 +721,7 @@ mod tests {
                     kind: ComputeKind::Ntt,
                     ops: 10,
                 },
-                dependencies: vec![],
+                dependencies: vec![2],
                 label: "c".into(),
                 stage: "P1".into(),
                 channel: None,
@@ -601,7 +732,7 @@ mod tests {
                     direction: MemoryDirection::Load,
                     bytes: 10,
                 },
-                dependencies: vec![2],
+                dependencies: vec![0],
                 label: "m1".into(),
                 stage: "P1".into(),
                 channel: None,
@@ -618,11 +749,43 @@ mod tests {
                 channel: None,
             },
         ];
-        // Build without validation helper: dependency 2 comes after 1 in
-        // program order, which from_tasks rejects; construct the graph
-        // manually through push to mimic a buggy generator is not possible,
-        // so assert the validator catches it instead.
-        assert!(TaskGraph::from_tasks(tasks).is_err());
+        // The validating constructor rejects the forward dependency outright…
+        assert!(TaskGraph::from_tasks(tasks.clone()).is_err());
+
+        // …but a buggy generator bypassing validation reaches the engine,
+        // which must report an enriched deadlock: the blocked heads by label
+        // and the shortest wait-for cycle, citing the matching static lint.
+        let g = TaskGraph::from_tasks_unchecked(tasks);
+        let err = RpuEngine::new(unit_config()).execute(&g).unwrap_err();
+        let EngineError::Deadlock {
+            compute_head,
+            memory_heads,
+            head_labels,
+            wait_chain,
+        } = &err;
+        assert_eq!(*compute_head, Some(0));
+        assert_eq!(memory_heads, &vec![(0, 1)]);
+        assert_eq!(head_labels.len(), 2);
+        assert_eq!(&*head_labels[0].1, "c");
+        // The cycle: c waits on m2, m2 is stuck behind its queue head m1,
+        // m1 waits on... back to m2 — the minimal cycle is m2 -> m1 -> ... ;
+        // whichever rotation is reported, it must close and stay minimal.
+        assert!(
+            wait_chain.len() >= 2 && wait_chain.len() <= 3,
+            "{wait_chain:?}"
+        );
+        let text = err.to_string();
+        assert!(
+            text.contains("D001") && text.contains("docs/LINTS.md"),
+            "{text}"
+        );
+        assert!(text.contains("`c`") && text.contains("m1"), "{text}");
+
+        // And the static lint agrees with the runtime verdict.
+        let diagnostics = crate::verify::lint_graph(&g, &RpuEngine::new(unit_config()));
+        assert!(diagnostics
+            .iter()
+            .any(|d| d.code == crate::verify::codes::DEADLOCK_CYCLE));
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   the multi-channel memory model (label hash plus overridable pin rules).
 //! * [`memory::OnChipTracker`] — capacity bookkeeping used while generating
 //!   schedules.
+//! * [`verify`] — static verification of task graphs against the queue
+//!   semantics: structural checks plus a deadlock-freedom proof over the
+//!   augmented (dependency + in-order queue) graph, the graph-level half of
+//!   the `ciflow::lint` subsystem (lint catalogue in `docs/LINTS.md`).
 //!
 //! ## Example
 //!
@@ -50,6 +54,7 @@ pub mod memory;
 pub mod stats;
 pub mod task;
 pub mod trace;
+pub mod verify;
 
 pub use channel::ChannelMap;
 pub use config::{EvkPolicy, RpuConfig, MIB};
@@ -62,6 +67,7 @@ pub use task::{
     TaskGraphError, TaskId, TaskKind,
 };
 pub use trace::{EngineQueue, ExecutionTrace, TaskRecord};
+pub use verify::{Diagnostic, Severity};
 
 #[cfg(test)]
 mod integration {

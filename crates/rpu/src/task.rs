@@ -282,6 +282,17 @@ impl TaskGraph {
         Ok(Self { tasks })
     }
 
+    /// Builds a graph from a task list *without* validating ids or dependency
+    /// order. This exists for the static verifier ([`crate::verify`]) and its
+    /// tests: malformed graphs — forward dependencies, cross-queue cycles,
+    /// dangling edges — can only be constructed through this door, and the
+    /// lint passes are the tool that diagnoses them. Executing an unchecked
+    /// graph whose dependencies are out of range will panic in the engine;
+    /// run [`crate::verify::lint_structural`] first.
+    pub fn from_tasks_unchecked(tasks: Vec<Task>) -> Self {
+        Self { tasks }
+    }
+
     /// Appends a compute task and returns its id.
     pub fn push_compute(
         &mut self,
@@ -344,6 +355,23 @@ impl TaskGraph {
     ) -> TaskId {
         let id = self.tasks.len();
         debug_assert!(dependencies.iter().all(|&d| d < id));
+        // Dedupe dependency edges, preserving first-occurrence order: a
+        // duplicate edge would silently inflate the engine's remaining-dep
+        // counter and the verifier's in-degrees (both count edges, and both
+        // also *decrement* per edge, so execution stays correct — but every
+        // downstream analysis over `dependencies` would double-count).
+        let mut dependencies = dependencies;
+        if dependencies.len() > 1 {
+            let mut kept = 0;
+            for i in 0..dependencies.len() {
+                let d = dependencies[i];
+                if !dependencies[..kept].contains(&d) {
+                    dependencies[kept] = d;
+                    kept += 1;
+                }
+            }
+            dependencies.truncate(kept);
+        }
         self.tasks.push(Task {
             id,
             kind,
@@ -684,5 +712,52 @@ mod tests {
             result,
             Err(TaskGraphError::ForwardDependency { dependency: 99, .. })
         ));
+    }
+
+    #[test]
+    fn push_dedupes_duplicate_dependency_edges_in_order() {
+        // A generator that lists the same dependency twice must not inflate
+        // the engine's remaining-dep counters or the verifier's in-degrees;
+        // the surviving edges keep their first-occurrence order.
+        let mut g = TaskGraph::new();
+        let a = g.push_memory(MemoryDirection::Load, 8, vec![], "load a", "P1");
+        let b = g.push_memory(MemoryDirection::Load, 8, vec![], "load b", "P1");
+        let c = g.push_compute(ComputeKind::Ntt, 8, vec![b, a, b, a, a], "ntt", "P1");
+        assert_eq!(g.tasks()[c].dependencies, vec![b, a]);
+        // Single dependencies stay untouched (the fast path).
+        let d = g.push_compute(ComputeKind::Ntt, 8, vec![c], "ntt2", "P1");
+        assert_eq!(g.tasks()[d].dependencies, vec![c]);
+    }
+
+    #[test]
+    fn from_tasks_unchecked_accepts_what_from_tasks_rejects() {
+        // The unchecked constructor exists for the static verifier: it is
+        // the only way to materialize a graph with a forward dependency.
+        let tasks = vec![
+            Task {
+                id: 0,
+                kind: TaskKind::Memory {
+                    direction: MemoryDirection::Load,
+                    bytes: 1,
+                },
+                dependencies: vec![1],
+                label: "load a".into(),
+                stage: "P1".into(),
+                channel: None,
+            },
+            Task {
+                id: 1,
+                kind: TaskKind::Memory {
+                    direction: MemoryDirection::Load,
+                    bytes: 1,
+                },
+                dependencies: vec![],
+                label: "load b".into(),
+                stage: "P1".into(),
+                channel: None,
+            },
+        ];
+        assert!(TaskGraph::from_tasks(tasks.clone()).is_err());
+        assert_eq!(TaskGraph::from_tasks_unchecked(tasks).len(), 2);
     }
 }

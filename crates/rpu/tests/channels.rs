@@ -215,7 +215,7 @@ proptest! {
             .records()
             .iter()
             .filter(|r| r.queue.is_memory())
-            .map(|r| r.duration())
+            .map(rpu::TaskRecord::duration)
             .sum();
         prop_assert!((span_sum - stats.memory_busy_seconds).abs() <= 1e-9 * span_sum.max(1.0));
     }

@@ -121,9 +121,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap()
             .outcome
             .as_ref()
-            .map_err(|e| e.clone())?;
+            .map_err(std::clone::Clone::clone)?;
         for real in &row[..names.len() - 1] {
-            let real = real.outcome.as_ref().map_err(|e| e.clone())?;
+            let real = real.outcome.as_ref().map_err(std::clone::Clone::clone)?;
             assert!(
                 rf.runtime_ms() <= real.runtime_ms() * 1.0001,
                 "{}: roofline beaten?!",

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("--- {label}: {bandwidth} GB/s, evks on-chip ---");
         for _ in Dataflow::all() {
             let result = results.next().expect("batch covers every pair");
-            let output = result.outcome.as_ref().map_err(|e| e.clone())?;
+            let output = result.outcome.as_ref().map_err(std::clone::Clone::clone)?;
             let per_ks_ms = output.runtime_ms();
             let key_switch_total_s = per_ks_ms * RESNET20_ROTATIONS as f64 / 1e3;
             let end_to_end_estimate_s = key_switch_total_s / KEY_SWITCH_FRACTION;

@@ -41,11 +41,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut i = 0;
     for workload in &workloads {
         for dataflow in Dataflow::all() {
-            let unfused = outcome.results[i].outcome.as_ref().map_err(|e| e.clone())?;
+            let unfused = outcome.results[i]
+                .outcome
+                .as_ref()
+                .map_err(std::clone::Clone::clone)?;
             let fused = outcome.results[i + 1]
                 .outcome
                 .as_ref()
-                .map_err(|e| e.clone())?;
+                .map_err(std::clone::Clone::clone)?;
             i += 2;
             println!(
                 "{:22} {:3} {:>4} {:>12.2} {:>10.2} {:>8.2}x {:>4.0}%->{:.0}%",
