@@ -26,9 +26,24 @@ use ciflow::api::{Job, JobOutput, Session};
 use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
 use ciflow::report::markdown_table;
-use ciflow::sweep::{try_channel_sweep, try_heterogeneous_sweep, BANDWIDTH_LADDER, CHANNEL_LADDER};
+use ciflow::sweep::{
+    try_analytic_sweep_in, try_channel_sweep, try_heterogeneous_analytic_sweep,
+    try_heterogeneous_sweep, BANDWIDTH_LADDER, CHANNEL_LADDER,
+};
 use ciflow::workload::{PipelineMode, Workload};
 use rpu::{EvkPolicy, RpuConfig};
+
+/// Every number the tables print is double-checked against the closed-form
+/// timeline (`rpu::analytic`) before rendering: the analytic sweep must
+/// reproduce the event engine's milliseconds **bit for bit**.
+fn assert_analytic_agrees(label: &str, bandwidth: f64, engine_ms: f64, analytic_ms: f64) {
+    assert_eq!(
+        engine_ms.to_bits(),
+        analytic_ms.to_bits(),
+        "{label}: analytic sweep diverges from the engine at {bandwidth} GB/s \
+         (engine {engine_ms} ms, analytic {analytic_ms} ms)"
+    );
+}
 
 const ROTATIONS: usize = 8;
 
@@ -62,7 +77,22 @@ fn run_ladder(benchmark: HksBenchmark, evk_policy: EvkPolicy) -> Vec<JobOutput> 
 
 fn render(benchmark: HksBenchmark, evk_policy: EvkPolicy) {
     let outputs = run_ladder(benchmark, evk_policy);
+    let workload = Workload::rotation_batch(benchmark, ROTATIONS);
+    let analytic_session = Session::new();
     for (d, dataflow) in Dataflow::all().into_iter().enumerate() {
+        let [unfused_series, fused_series] =
+            [PipelineMode::BackToBack, PipelineMode::Fused].map(|mode| {
+                try_analytic_sweep_in(
+                    &analytic_session,
+                    &workload,
+                    dataflow,
+                    &BANDWIDTH_LADDER,
+                    evk_policy,
+                    1.0,
+                    mode,
+                )
+                .expect("built-in pipelines are infallible")
+            });
         ciflow_bench::section(&format!(
             "Workload pipeline: {} x{ROTATIONS} rotations, {dataflow} ({evk_policy})",
             benchmark.name
@@ -72,6 +102,19 @@ fn render(benchmark: HksBenchmark, evk_policy: EvkPolicy) {
             let base = d * BANDWIDTH_LADDER.len() * 2 + b * 2;
             let unfused = &outputs[base];
             let fused = &outputs[base + 1];
+            let label = format!("{} {dataflow} ({evk_policy})", benchmark.name);
+            assert_analytic_agrees(
+                &label,
+                bandwidth,
+                unfused.runtime_ms(),
+                unfused_series.series.points[b].runtime_ms,
+            );
+            assert_analytic_agrees(
+                &label,
+                bandwidth,
+                fused.runtime_ms(),
+                fused_series.series.points[b].runtime_ms,
+            );
             rows.push(vec![
                 format!("{bandwidth}"),
                 format!("{:.2}", unfused.runtime_ms()),
@@ -116,6 +159,24 @@ fn render_rescaling_chain(benchmark: HksBenchmark, evk_policy: EvkPolicy) {
     for dataflow in Dataflow::all() {
         let sweep = try_heterogeneous_sweep(&chain, dataflow, &BANDWIDTH_LADDER, evk_policy)
             .expect("built-in pipelines are infallible");
+        let analytic =
+            try_heterogeneous_analytic_sweep(&chain, dataflow, &BANDWIDTH_LADDER, evk_policy)
+                .expect("built-in pipelines are infallible");
+        for (engine, closed_form) in sweep.points.iter().zip(&analytic.points) {
+            let label = format!("rescaling chain {} {dataflow}", benchmark.name);
+            assert_analytic_agrees(
+                &label,
+                engine.bandwidth_gbps,
+                engine.fused_ms,
+                closed_form.fused_ms,
+            );
+            assert_analytic_agrees(
+                &label,
+                engine.bandwidth_gbps,
+                engine.back_to_back_ms,
+                closed_form.back_to_back_ms,
+            );
+        }
         ciflow_bench::section(&format!(
             "Rescaling chain: {} ℓ={} , {dataflow} ({evk_policy})",
             benchmark.name,
@@ -175,6 +236,7 @@ fn render_channel_sweep(benchmark: HksBenchmark) {
     headers.extend(CHANNEL_LADDER.iter().map(|c| format!("idle {c}ch")));
     let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut rows = Vec::new();
+    let analytic_session = Session::new();
     for &bandwidth in &CHANNEL_SWEEP_BANDWIDTHS {
         let points = try_channel_sweep(
             &workload,
@@ -185,6 +247,30 @@ fn render_channel_sweep(benchmark: HksBenchmark) {
             PipelineMode::Fused,
         )
         .expect("built-in pipelines are infallible");
+        for point in &points {
+            // One timeline per channel count serves the whole bandwidth
+            // column (the session cache keys on channels and range).
+            let job = Job::workload(
+                workload.clone(),
+                Dataflow::OutputCentric,
+                PipelineMode::Fused,
+            )
+            .with_rpu(
+                RpuConfig::ciflow_with_policy(EvkPolicy::Streamed)
+                    .with_bandwidth(bandwidth)
+                    .with_modops(1.0)
+                    .with_memory_channels(point.channels),
+            );
+            let analytic = analytic_session
+                .run_analytic(&job, 8.0, 1024.0)
+                .expect("built-in pipelines are infallible");
+            assert_analytic_agrees(
+                &format!("channel sweep {} x{}ch", benchmark.name, point.channels),
+                bandwidth,
+                point.runtime_ms,
+                analytic.runtime_ms_at(bandwidth),
+            );
+        }
         let mut row = vec![format!("{bandwidth}")];
         row.push(format!("{:.2}", points[0].runtime_ms));
         row.push(format!(

@@ -23,7 +23,9 @@ use ciflow::dataflow::Dataflow;
 use ciflow::hks_shape::HksShape;
 use ciflow::schedule::{build_schedule, ScheduleConfig};
 use ciflow::serve::{try_serve_in, ArrivalProcess, RequestClass, ServeConfig};
-use ciflow::sweep::{try_workload_sweep, BANDWIDTH_LADDER};
+use ciflow::sweep::{
+    try_analytic_sweep_in, try_workload_sweep, try_workload_sweep_in, BANDWIDTH_LADDER,
+};
 use ciflow::workload::{PipelineMode, Workload};
 use rpu::{EvkPolicy, RpuConfig, RpuEngine, TraceMode};
 use std::time::Instant;
@@ -77,6 +79,38 @@ impl WorkloadSweepPerf {
     }
 }
 
+/// Wall time of the closed-form (analytic) sweep against the engine-path
+/// sweep it replaces: the same 8-rotation ARK pipeline, both pipeline
+/// modes, over a dense geometric bandwidth ladder. The engine path runs
+/// [`ciflow::sweep::try_workload_sweep_in`] (warm schedule cache — the PR-5
+/// `optimized_ms` behavior); the analytic path runs
+/// [`ciflow::sweep::try_analytic_sweep_in`] with a warm timeline cache, and
+/// the harness asserts both return bit-identical runtimes before timing.
+#[derive(Debug, Clone)]
+pub struct AnalyticSweepPerf {
+    /// Workload name.
+    pub workload: String,
+    /// Strategy short name.
+    pub strategy: String,
+    /// Bandwidth points per mode.
+    pub bandwidth_points: usize,
+    /// Pipeline modes swept (fused + back-to-back).
+    pub modes: usize,
+    /// Total event-order segments across both modes' timelines.
+    pub segments: usize,
+    /// Best-of-N wall time of the engine-path sweep, in ms.
+    pub engine_path_ms: f64,
+    /// Best-of-N wall time of the analytic sweep (warm timeline cache), ms.
+    pub analytic_ms: f64,
+}
+
+impl AnalyticSweepPerf {
+    /// Engine-path over analytic wall time.
+    pub fn speedup(&self) -> f64 {
+        self.engine_path_ms / self.analytic_ms
+    }
+}
+
 /// Host cost of the fleet-scale serving simulator at a reference point: the
 /// standard ARK request mix, closed loop (8 clients, 96 requests) on a
 /// 4-device cluster at 64 GB/s under the OC dataflow. Two numbers matter:
@@ -117,6 +151,8 @@ pub struct PerfReport {
     pub engine_execution: EngineExecutionPerf,
     /// Workload-sweep section (the acceptance benchmark).
     pub workload_sweep: WorkloadSweepPerf,
+    /// Closed-form analytic-sweep section.
+    pub analytic_sweep: AnalyticSweepPerf,
     /// Serving-simulator section.
     pub serving: ServingPerf,
 }
@@ -232,6 +268,98 @@ fn measure_workload_sweep(iters: usize, bandwidths: &[f64]) -> WorkloadSweepPerf
     }
 }
 
+/// A geometric ladder over the analyzed range `[8, 1024]` GB/s.
+fn geometric_ladder(points: usize) -> Vec<f64> {
+    (0..points)
+        .map(|i| 8.0 * 128f64.powf(i as f64 / (points - 1).max(1) as f64))
+        .collect()
+}
+
+fn measure_analytic_sweep(iters: usize, points: usize) -> AnalyticSweepPerf {
+    let workload = Workload::rotation_batch(HksBenchmark::ARK, 8);
+    let ladder = geometric_ladder(points);
+    let modes = [PipelineMode::Fused, PipelineMode::BackToBack];
+    // Bit-identity first: the speedup below is only meaningful if both
+    // paths return the same numbers.
+    let check = Session::new();
+    for mode in modes {
+        let engine = try_workload_sweep_in(
+            &check,
+            &workload,
+            Dataflow::OutputCentric,
+            &ladder,
+            EvkPolicy::Streamed,
+            1.0,
+            mode,
+        )
+        .expect("engine sweep succeeds");
+        let analytic = try_analytic_sweep_in(
+            &check,
+            &workload,
+            Dataflow::OutputCentric,
+            &ladder,
+            EvkPolicy::Streamed,
+            1.0,
+            mode,
+        )
+        .expect("analytic sweep succeeds");
+        assert_eq!(engine.points.len(), analytic.series.points.len());
+        for (a, b) in engine.points.iter().zip(&analytic.series.points) {
+            assert_eq!(
+                a.runtime_ms.to_bits(),
+                b.runtime_ms.to_bits(),
+                "analytic sweep diverges from the engine at {} GB/s",
+                a.bandwidth_gbps
+            );
+        }
+    }
+    let engine_session = Session::new();
+    let engine_path_ms = best_ms(iters, || {
+        for mode in modes {
+            std::hint::black_box(
+                try_workload_sweep_in(
+                    &engine_session,
+                    &workload,
+                    Dataflow::OutputCentric,
+                    &ladder,
+                    EvkPolicy::Streamed,
+                    1.0,
+                    mode,
+                )
+                .expect("engine sweep succeeds"),
+            );
+        }
+    });
+    let analytic_session = Session::new();
+    let mut segments = 0;
+    let analytic_ms = best_ms(iters, || {
+        segments = 0;
+        for mode in modes {
+            let sweep = try_analytic_sweep_in(
+                &analytic_session,
+                &workload,
+                Dataflow::OutputCentric,
+                &ladder,
+                EvkPolicy::Streamed,
+                1.0,
+                mode,
+            )
+            .expect("analytic sweep succeeds");
+            segments += sweep.segments;
+            std::hint::black_box(sweep);
+        }
+    });
+    AnalyticSweepPerf {
+        workload: workload.name.clone(),
+        strategy: "OC".to_string(),
+        bandwidth_points: ladder.len(),
+        modes: modes.len(),
+        segments,
+        engine_path_ms,
+        analytic_ms,
+    }
+}
+
 fn measure_serving(iters: usize) -> ServingPerf {
     let config = ServeConfig::new(
         4,
@@ -262,14 +390,24 @@ fn measure_serving(iters: usize) -> ServingPerf {
     }
 }
 
+/// The analytic-sweep section's ladder density in the shipped report: a
+/// 1000-point geometric ladder, where an engine-path sweep costs an event
+/// loop per point and the analytic path costs one symbolic analysis total.
+const ANALYTIC_POINTS: usize = 1000;
+
 /// Runs every section with `iters` timed iterations over the full Fig-4
-/// bandwidth ladder.
+/// bandwidth ladder (and the 1000-point analytic ladder).
 pub fn measure(iters: usize) -> PerfReport {
-    measure_with_ladder(iters, &BANDWIDTH_LADDER)
+    measure_with_ladders(iters, &BANDWIDTH_LADDER, ANALYTIC_POINTS)
 }
 
-/// [`measure`] with an explicit bandwidth ladder (tests use a short one).
+/// [`measure`] with an explicit bandwidth ladder (tests use a short one,
+/// and a correspondingly short analytic ladder).
 pub fn measure_with_ladder(iters: usize, bandwidths: &[f64]) -> PerfReport {
+    measure_with_ladders(iters, bandwidths, 32)
+}
+
+fn measure_with_ladders(iters: usize, bandwidths: &[f64], analytic_points: usize) -> PerfReport {
     PerfReport {
         threads: std::thread::available_parallelism()
             .map(std::num::NonZero::get)
@@ -278,6 +416,7 @@ pub fn measure_with_ladder(iters: usize, bandwidths: &[f64]) -> PerfReport {
         schedule_generation: measure_schedule_generation(iters),
         engine_execution: measure_engine_execution(iters),
         workload_sweep: measure_workload_sweep(iters, bandwidths),
+        analytic_sweep: measure_analytic_sweep(iters, analytic_points),
         serving: measure_serving(iters),
     }
 }
@@ -316,10 +455,11 @@ impl PerfReport {
         let g = &self.schedule_generation;
         let e = &self.engine_execution;
         let w = &self.workload_sweep;
+        let a = &self.analytic_sweep;
         let s = &self.serving;
         format!(
             r#"{{
-  "schema": "ciflow.perf_report.v2",
+  "schema": "ciflow.perf_report.v3",
   "threads": {threads},
   "iterations": {iterations},
   "schedule_generation": {{
@@ -340,6 +480,17 @@ impl PerfReport {
     "baseline_ms": {baseline},
     "speedup": {speedup},
     "baseline_definition": "schedule rebuilt per bandwidth point + full per-task tracing (pre-overhaul run_job behavior)"
+  }},
+  "analytic_sweep": {{
+    "workload": "{a_workload}",
+    "strategy": "{a_strategy}",
+    "bandwidth_points": {a_points},
+    "modes": {a_modes},
+    "segments": {a_segments},
+    "engine_path_ms": {a_engine},
+    "analytic_ms": {a_analytic},
+    "analytic_speedup": {a_speedup},
+    "engine_path_definition": "try_workload_sweep per point (warm schedule cache, stats-only) -- the PR-5 optimized_ms behavior"
   }},
   "serving": {{
     "num_devices": {serving_devices},
@@ -365,6 +516,14 @@ impl PerfReport {
             optimized = json_f64(w.optimized_ms),
             baseline = json_f64(w.baseline_ms),
             speedup = json_f64(w.speedup()),
+            a_workload = json_escape(&a.workload),
+            a_strategy = json_escape(&a.strategy),
+            a_points = a.bandwidth_points,
+            a_modes = a.modes,
+            a_segments = a.segments,
+            a_engine = json_f64(a.engine_path_ms),
+            a_analytic = json_f64(a.analytic_ms),
+            a_speedup = json_f64(a.speedup()),
             serving_devices = s.num_devices,
             serving_requests = s.requests,
             serving_rps = json_f64(s.simulated_rps),
@@ -378,12 +537,15 @@ impl PerfReport {
         let g = &self.schedule_generation;
         let e = &self.engine_execution;
         let w = &self.workload_sweep;
+        let a = &self.analytic_sweep;
         let s = &self.serving;
         format!(
             "schedule generation : {} schedules in {:.2} ms ({:.3} ms each)\n\
              engine execution    : {} tasks, traced {:.3} ms, stats-only {:.3} ms\n\
              workload sweep      : {} x {} points x {} modes\n\
              \x20 optimized {:.2} ms vs baseline {:.2} ms -> {:.2}x speedup\n\
+             analytic sweep      : {} x {} points x {} modes, {} segments\n\
+             \x20 engine path {:.2} ms vs analytic {:.2} ms -> {:.2}x speedup\n\
              serving             : {} req on {} RPUs, {:.1} simulated req/s\n\
              \x20 host {:.2} ms per run ({:.1} us per simulated request)\n",
             g.schedules,
@@ -398,6 +560,13 @@ impl PerfReport {
             w.optimized_ms,
             w.baseline_ms,
             w.speedup(),
+            a.workload,
+            a.bandwidth_points,
+            a.modes,
+            a.segments,
+            a.engine_path_ms,
+            a.analytic_ms,
+            a.speedup(),
             s.requests,
             s.num_devices,
             s.simulated_rps,
@@ -412,7 +581,7 @@ impl PerfReport {
 /// positive number. Returns a description of the first problem found.
 pub fn validate_json(json: &str) -> Result<(), String> {
     for key in [
-        "\"schema\": \"ciflow.perf_report.v2\"",
+        "\"schema\": \"ciflow.perf_report.v3\"",
         "\"threads\"",
         "\"iterations\"",
         "\"schedule_generation\"",
@@ -431,6 +600,12 @@ pub fn validate_json(json: &str) -> Result<(), String> {
         "\"baseline_ms\"",
         "\"speedup\"",
         "\"baseline_definition\"",
+        "\"analytic_sweep\"",
+        "\"segments\"",
+        "\"engine_path_ms\"",
+        "\"analytic_ms\"",
+        "\"analytic_speedup\"",
+        "\"engine_path_definition\"",
         "\"serving\"",
         "\"num_devices\"",
         "\"requests\"",
@@ -488,6 +663,19 @@ pub fn validate_json(json: &str) -> Result<(), String> {
     if speedup.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(format!("speedup {speedup} is not positive"));
     }
+    let analytic_speedup: f64 = json
+        .split("\"analytic_speedup\": ")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '\n']).next())
+        .ok_or("analytic_speedup field not found")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("analytic_speedup does not parse: {e}"))?;
+    if analytic_speedup.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(format!(
+            "analytic_speedup {analytic_speedup} is not positive"
+        ));
+    }
     let simulated_rps: f64 = json
         .split("\"simulated_rps\": ")
         .nth(1)
@@ -518,6 +706,12 @@ mod tests {
         assert!(report.workload_sweep.optimized_ms > 0.0);
         assert!(report.workload_sweep.baseline_ms > 0.0);
         assert!(report.workload_sweep.speedup() > 0.0);
+        assert_eq!(report.analytic_sweep.bandwidth_points, 32);
+        assert_eq!(report.analytic_sweep.modes, 2);
+        assert!(report.analytic_sweep.segments >= 2);
+        assert!(report.analytic_sweep.engine_path_ms > 0.0);
+        assert!(report.analytic_sweep.analytic_ms > 0.0);
+        assert!(report.analytic_sweep.speedup() > 0.0);
         assert_eq!(report.serving.num_devices, 4);
         assert_eq!(report.serving.requests, 96);
         assert!(report.serving.simulated_rps > 0.0);
@@ -550,6 +744,14 @@ mod tests {
         let broken = json.replace(
             &format!("\"speedup\": {:.4}", report.workload_sweep.speedup()),
             "\"speedup\": -1.0",
+        );
+        assert!(validate_json(&broken).is_err());
+        let broken = json.replace(
+            &format!(
+                "\"analytic_speedup\": {:.4}",
+                report.analytic_sweep.speedup()
+            ),
+            "\"analytic_speedup\": 0.0",
         );
         assert!(validate_json(&broken).is_err());
     }

@@ -39,7 +39,8 @@ mod strategy;
 
 pub use registry::StrategyRegistry;
 pub use session::{
-    BatchOutcome, Job, JobOutput, JobResult, Session, StrategySpec, VerifyResult, WorkloadSpec,
+    AnalyticOutput, BatchOutcome, Job, JobOutput, JobResult, Session, StrategySpec, VerifyResult,
+    WorkloadSpec,
 };
 pub use strategy::{
     DigitCentricStrategy, MaxParallelStrategy, OutputCentricStrategy, ScheduleStrategy,

@@ -8,6 +8,7 @@ use crate::error::CiflowError;
 use crate::hks_shape::HksShape;
 use crate::schedule::{Schedule, ScheduleConfig};
 use crate::workload::{build_workload, PipelineMode, Workload};
+use rpu::analytic::ParametricTimeline;
 use rpu::{ChannelMap, EvkPolicy, ExecutionStats, ExecutionTrace, RpuConfig, RpuEngine, TraceMode};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -108,6 +109,18 @@ impl ScheduleKey {
     }
 }
 
+/// Cache key of one derived [`ParametricTimeline`] within a plan: everything
+/// *besides* the schedule that shapes the timeline. Bandwidth itself is the
+/// timeline's free variable; only the analyzed range is keyed (by bits, so
+/// identical ranges hit and NaN can never poison the key).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TimelineKey {
+    channels: usize,
+    modops_bits: u64,
+    lo_bits: u64,
+    hi_bits: u64,
+}
+
 /// A built schedule template plus everything derived from it that timing
 /// parameters cannot change: pipeline metadata and the per-channel-count
 /// buffer placement maps.
@@ -123,6 +136,11 @@ struct CachedPlan {
     /// [`Schedule::channel_map`] scans the whole graph, so jobs sharing a
     /// schedule must not re-derive it (see `Session::run_job`).
     channel_maps: Mutex<HashMap<usize, ChannelMap>>,
+    /// Parametric timelines derived from the schedule
+    /// ([`Session::run_analytic`]), keyed by the non-bandwidth knobs —
+    /// deriving one costs a handful of symbolic executions, so jobs sharing
+    /// a schedule share the piecewise description too.
+    timelines: Mutex<HashMap<TimelineKey, Arc<ParametricTimeline>>>,
 }
 
 impl CachedPlan {
@@ -134,6 +152,38 @@ impl CachedPlan {
         maps.entry(num_channels)
             .or_insert_with(|| self.schedule.channel_map(num_channels))
             .clone()
+    }
+
+    fn timeline(
+        &self,
+        rpu: &RpuConfig,
+        lo_gbps: f64,
+        hi_gbps: f64,
+    ) -> Result<Arc<ParametricTimeline>, rpu::EngineError> {
+        let key = TimelineKey {
+            channels: rpu.memory_channel_count(),
+            modops_bits: rpu.modops_per_second().to_bits(),
+            lo_bits: lo_gbps.to_bits(),
+            hi_bits: hi_gbps.to_bits(),
+        };
+        if let Some(timeline) = self
+            .timelines
+            .lock()
+            .expect("timeline cache poisoned")
+            .get(&key)
+        {
+            return Ok(Arc::clone(timeline));
+        }
+        let engine = RpuEngine::new(rpu.clone())
+            .with_channel_map(self.channel_map(rpu.memory_channel_count()));
+        let timeline = Arc::new(engine.analyze(&self.schedule.graph, lo_gbps, hi_gbps)?);
+        Ok(Arc::clone(
+            self.timelines
+                .lock()
+                .expect("timeline cache poisoned")
+                .entry(key)
+                .or_insert(timeline),
+        ))
     }
 }
 
@@ -222,6 +272,52 @@ impl Job {
 
     fn strategy_name(&self) -> String {
         self.strategy.display_name()
+    }
+}
+
+/// The outcome of a *symbolic* job run: the schedule-derived
+/// [`ParametricTimeline`] plus the same scheduling metadata a [`JobOutput`]
+/// carries, minus the single-bandwidth `stats`/`trace` — those are produced
+/// on demand by evaluating the timeline at a bandwidth of interest.
+#[derive(Debug, Clone)]
+pub struct AnalyticOutput {
+    /// The parameter point that was scheduled.
+    pub benchmark: HksBenchmark,
+    /// Short name of the strategy that scheduled it.
+    pub strategy: String,
+    /// The RPU configuration the timeline was derived from. Its
+    /// `dram_bandwidth_gbps` is the anchor, not a restriction — evaluation
+    /// is valid anywhere in [`AnalyticOutput::bandwidth_range_gbps`], and
+    /// falls back to the engine (still bit-exact) outside it.
+    pub rpu: RpuConfig,
+    /// The schedule the timeline describes, shared with the session cache.
+    pub schedule: Arc<Schedule>,
+    /// Number of HKS kernel invocations the schedule covered.
+    pub kernels: usize,
+    /// The parameter point of each kernel invocation, in execution order.
+    pub kernel_benchmarks: Vec<HksBenchmark>,
+    /// DRAM traffic eliminated by on-chip forwarding, in bytes.
+    pub forwarded_bytes: u64,
+    /// The piecewise-linear timeline; shared with the session's plan cache,
+    /// so repeated analytic runs of an identically-keyed job are lookups.
+    pub timeline: Arc<ParametricTimeline>,
+}
+
+impl AnalyticOutput {
+    /// The bandwidth interval (GB/s) the timeline's segments cover.
+    pub fn bandwidth_range_gbps(&self) -> (f64, f64) {
+        self.timeline.bandwidth_range_gbps()
+    }
+
+    /// Execution statistics at `bandwidth_gbps` — bit-identical to running
+    /// the job through the event engine at that bandwidth.
+    pub fn stats_at(&self, bandwidth_gbps: f64) -> ExecutionStats {
+        self.timeline.evaluate(bandwidth_gbps)
+    }
+
+    /// Runtime in milliseconds at `bandwidth_gbps`.
+    pub fn runtime_ms_at(&self, bandwidth_gbps: f64) -> f64 {
+        self.stats_at(bandwidth_gbps).runtime_ms()
     }
 }
 
@@ -656,6 +752,7 @@ impl Session {
             kernel_benchmarks,
             forwarded_bytes,
             channel_maps: Mutex::new(HashMap::new()),
+            timelines: Mutex::new(HashMap::new()),
         })
     }
 
@@ -769,6 +866,50 @@ impl Session {
             kernels: plan.kernels,
             kernel_benchmarks: plan.kernel_benchmarks.clone(),
             forwarded_bytes: plan.forwarded_bytes,
+        })
+    }
+
+    /// Runs a job *symbolically* over a bandwidth range instead of at one
+    /// bandwidth: builds (or fetches) the same cached schedule plan
+    /// [`Session::run_job`] would use, derives its piecewise-linear
+    /// [`ParametricTimeline`] once, and returns it for closed-form
+    /// evaluation at any bandwidth — bit-identical to running the job with
+    /// that bandwidth swapped in (see `docs/ANALYTIC.md`). Timelines are
+    /// cached with the plan, so repeated analytic runs of an
+    /// identically-keyed job cost one lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CiflowError::InvalidConfig`] for an invalid range
+    /// (non-finite, non-positive, or `lo > hi`), and otherwise propagates
+    /// the same strategy-resolution, schedule-construction and engine errors
+    /// as [`Session::run_job`].
+    pub fn run_analytic(
+        &self,
+        job: &Job,
+        lo_gbps: f64,
+        hi_gbps: f64,
+    ) -> Result<AnalyticOutput, CiflowError> {
+        if !(lo_gbps.is_finite() && hi_gbps.is_finite() && lo_gbps > 0.0 && lo_gbps <= hi_gbps) {
+            return Err(CiflowError::InvalidConfig {
+                message: format!(
+                    "analytic bandwidth range [{lo_gbps}, {hi_gbps}] GB/s must be finite, \
+                     positive and ordered"
+                ),
+            });
+        }
+        let rpu = job.rpu.clone().unwrap_or_else(|| self.rpu.clone());
+        let plan = self.plan_for(job)?;
+        let timeline = plan.timeline(&rpu, lo_gbps, hi_gbps)?;
+        Ok(AnalyticOutput {
+            benchmark: job.effective_benchmark(),
+            strategy: plan.schedule.strategy.clone(),
+            rpu,
+            schedule: Arc::clone(&plan.schedule),
+            kernels: plan.kernels,
+            kernel_benchmarks: plan.kernel_benchmarks.clone(),
+            forwarded_bytes: plan.forwarded_bytes,
+            timeline,
         })
     }
 

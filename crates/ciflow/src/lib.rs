@@ -134,8 +134,8 @@ pub mod sweep;
 pub mod workload;
 
 pub use api::{
-    BatchOutcome, Job, JobOutput, JobResult, ScheduleStrategy, Session, StrategyRegistry,
-    VerifyResult,
+    AnalyticOutput, BatchOutcome, Job, JobOutput, JobResult, ScheduleStrategy, Session,
+    StrategyRegistry, VerifyResult,
 };
 pub use benchmark::HksBenchmark;
 pub use dataflow::Dataflow;

@@ -115,13 +115,29 @@ pub fn try_serve_in(
         service_seconds.push(output.stats.runtime_seconds);
     }
 
-    let outcome = sim::simulate(config, &service_seconds);
-    Ok(sim::finish(
+    Ok(serve_with_service_times(
         config,
         strategy_name,
         &service_seconds,
-        outcome,
     ))
+}
+
+/// Runs the virtual-clock serving simulation against externally supplied
+/// per-class service times (one entry per `config.classes` entry, in order).
+///
+/// This is the measurement-free half of [`try_serve_in`]: the analytic sweep
+/// path ([`try_serve_sweep_in`](crate::sweep::try_serve_sweep_in)) evaluates
+/// each class's [`ParametricTimeline`](rpu::ParametricTimeline) once per
+/// bandwidth and hands the resulting (bit-identical) service times here, so
+/// a whole cluster-size × bandwidth grid shares one symbolic measurement per
+/// class.
+pub(crate) fn serve_with_service_times(
+    config: &ServeConfig,
+    strategy: String,
+    service_seconds: &[f64],
+) -> ServeReport {
+    let outcome = sim::simulate(config, service_seconds);
+    sim::finish(config, strategy, service_seconds, outcome)
 }
 
 #[cfg(test)]

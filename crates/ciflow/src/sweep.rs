@@ -218,6 +218,203 @@ pub fn try_workload_sweep_in(
     )
 }
 
+/// Validates the bandwidths of a sweep ladder: every entry must be finite
+/// and strictly positive (a zero or negative bandwidth has no physical
+/// meaning and would divide durations by zero).
+fn validate_bandwidths(bandwidths: &[f64], context: &str) -> Result<(), CiflowError> {
+    for &bw in bandwidths {
+        if !bw.is_finite() || bw <= 0.0 {
+            return Err(CiflowError::InvalidConfig {
+                message: format!("{context}: bandwidth {bw} GB/s must be finite and positive"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates an analytic bandwidth ladder and returns its `(min, max)`.
+///
+/// Ladder semantics, shared by every analytic entry point and pinned by the
+/// degenerate-input regression tests: the ladder may be unsorted and may
+/// contain duplicates — points are evaluated pointwise in the order given,
+/// and equal bandwidths produce bit-identical rows — but it must be
+/// non-empty (a single-point ladder is fine) and every entry must be finite
+/// and strictly positive.
+fn analytic_range(bandwidths: &[f64], context: &str) -> Result<(f64, f64), CiflowError> {
+    validate_bandwidths(bandwidths, context)?;
+    let Some(&first) = bandwidths.first() else {
+        return Err(CiflowError::InvalidConfig {
+            message: format!("{context}: bandwidth ladder is empty"),
+        });
+    };
+    let lo = bandwidths.iter().copied().fold(first, f64::min);
+    let hi = bandwidths.iter().copied().fold(first, f64::max);
+    Ok((lo, hi))
+}
+
+/// A bandwidth sweep evaluated in closed form: the ladder's points come from
+/// one piecewise-linear [`ParametricTimeline`](rpu::ParametricTimeline)
+/// instead of one engine run per point, with runtimes bit-identical to the
+/// engine path (see `docs/ANALYTIC.md`).
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalyticSweep {
+    /// The evaluated series — same shape and bit-identical runtimes as
+    /// [`try_workload_sweep`] over the same ladder.
+    pub series: SweepSeries,
+    /// Number of event-order segments the timeline stitched together over
+    /// the ladder's bandwidth range.
+    pub segments: usize,
+    /// Bandwidths (GB/s) strictly inside the range at which the engine's
+    /// event order changes — the kinks of the piecewise-linear runtime
+    /// curve.
+    pub breakpoints_gbps: Vec<f64>,
+}
+
+/// Runs a runtime-vs-bandwidth sweep of a [`Workload`] pipeline in closed
+/// form: one symbolic execution covers the ladder's whole bandwidth range,
+/// and each point is an interval lookup plus an affine replay — no event
+/// loop per point. Results are bit-identical to [`try_workload_sweep`].
+/// Strategy names resolve against the built-in registry — use
+/// [`try_analytic_sweep_in`] for custom registries.
+///
+/// # Errors
+///
+/// Returns [`CiflowError::InvalidConfig`] for an empty ladder or a
+/// non-finite/non-positive bandwidth (see [`try_analytic_sweep_in`] for the
+/// full ladder semantics), and otherwise propagates the same errors as
+/// [`try_workload_sweep`].
+pub fn try_analytic_sweep(
+    workload: &Workload,
+    strategy: impl Into<StrategySpec>,
+    bandwidths: &[f64],
+    evk_policy: EvkPolicy,
+    modops: f64,
+    mode: PipelineMode,
+) -> Result<AnalyticSweep, CiflowError> {
+    try_analytic_sweep_in(
+        &Session::new(),
+        workload,
+        strategy,
+        bandwidths,
+        evk_policy,
+        modops,
+        mode,
+    )
+}
+
+/// [`try_analytic_sweep`] resolving strategy names through `session`'s
+/// registry and reusing its schedule **and timeline** caches: repeating a
+/// sweep (or sweeping a different ladder inside the same bandwidth range)
+/// re-uses the cached [`ParametricTimeline`](rpu::ParametricTimeline)
+/// outright.
+///
+/// Ladder semantics: unsorted ladders and duplicates are allowed and
+/// evaluated pointwise in the order given (duplicates produce bit-identical
+/// rows); an empty ladder or any non-finite/non-positive entry is rejected
+/// with [`CiflowError::InvalidConfig`].
+///
+/// # Errors
+///
+/// Returns [`CiflowError::InvalidConfig`] for a degenerate ladder, or the
+/// first failing point's error.
+#[allow(clippy::too_many_arguments)]
+pub fn try_analytic_sweep_in(
+    session: &Session,
+    workload: &Workload,
+    strategy: impl Into<StrategySpec>,
+    bandwidths: &[f64],
+    evk_policy: EvkPolicy,
+    modops: f64,
+    mode: PipelineMode,
+) -> Result<AnalyticSweep, CiflowError> {
+    let (lo, hi) = analytic_range(bandwidths, "analytic bandwidth sweep")?;
+    let job = Job::workload(workload.clone(), strategy.into(), mode)
+        .with_rpu(sweep_rpu(evk_policy, lo, modops));
+    let output = session.run_analytic(&job, lo, hi)?;
+    let points = bandwidths
+        .iter()
+        .zip(output.timeline.evaluate_many(bandwidths))
+        .map(|(&bw, stats)| SweepPoint {
+            bandwidth_gbps: bw,
+            runtime_ms: stats.runtime_ms(),
+        })
+        .collect();
+    Ok(AnalyticSweep {
+        series: SweepSeries {
+            benchmark: workload.benchmark.name,
+            dataflow: output.strategy.clone(),
+            evk_streamed: evk_policy == EvkPolicy::Streamed,
+            modops,
+            points,
+        },
+        segments: output.timeline.segments().len(),
+        breakpoints_gbps: output.timeline.breakpoints_gbps(),
+    })
+}
+
+/// The closed-form counterpart of [`try_heterogeneous_sweep`]: both pipeline
+/// modes of a heterogeneous workload are executed symbolically once, and the
+/// whole ladder is evaluated from the two timelines — bit-identical to the
+/// engine path. Strategy names resolve against the built-in registry — use
+/// [`try_heterogeneous_analytic_sweep_in`] for custom registries.
+///
+/// # Errors
+///
+/// Returns [`CiflowError::InvalidConfig`] for a degenerate ladder (see
+/// [`try_analytic_sweep_in`]) or a workload with no kernel invocations, or
+/// the first failing point's error.
+pub fn try_heterogeneous_analytic_sweep(
+    workload: &Workload,
+    strategy: impl Into<StrategySpec>,
+    bandwidths: &[f64],
+    evk_policy: EvkPolicy,
+) -> Result<HeterogeneousSweep, CiflowError> {
+    try_heterogeneous_analytic_sweep_in(&Session::new(), workload, strategy, bandwidths, evk_policy)
+}
+
+/// [`try_heterogeneous_analytic_sweep`] resolving strategy names through
+/// `session`'s registry and reusing its schedule and timeline caches.
+///
+/// # Errors
+///
+/// Returns [`CiflowError::InvalidConfig`] for a degenerate ladder, or the
+/// first failing point's error.
+pub fn try_heterogeneous_analytic_sweep_in(
+    session: &Session,
+    workload: &Workload,
+    strategy: impl Into<StrategySpec>,
+    bandwidths: &[f64],
+    evk_policy: EvkPolicy,
+) -> Result<HeterogeneousSweep, CiflowError> {
+    let (lo, hi) = analytic_range(bandwidths, "heterogeneous analytic sweep")?;
+    let spec: StrategySpec = strategy.into();
+    let job_for = |mode| {
+        Job::workload(workload.clone(), spec.clone(), mode).with_rpu(sweep_rpu(evk_policy, lo, 1.0))
+    };
+    let b2b = session.run_analytic(&job_for(PipelineMode::BackToBack), lo, hi)?;
+    let fused = session.run_analytic(&job_for(PipelineMode::Fused), lo, hi)?;
+    let b2b_stats = b2b.timeline.evaluate_many(bandwidths);
+    let fused_stats = fused.timeline.evaluate_many(bandwidths);
+    let points = bandwidths
+        .iter()
+        .enumerate()
+        .map(|(i, &bw)| HeterogeneousSweepPoint {
+            bandwidth_gbps: bw,
+            fused_ms: fused_stats[i].runtime_ms(),
+            back_to_back_ms: b2b_stats[i].runtime_ms(),
+            fused_idle: fused_stats[i].compute_idle_fraction(),
+            back_to_back_idle: b2b_stats[i].compute_idle_fraction(),
+            forwarded_bytes: fused.forwarded_bytes,
+        })
+        .collect();
+    Ok(HeterogeneousSweep {
+        workload: workload.name.clone(),
+        dataflow: b2b.strategy.clone(),
+        kernel_towers: b2b.kernel_benchmarks.iter().map(|b| b.q_towers).collect(),
+        points,
+    })
+}
+
 /// One point of a heterogeneous-pipeline sweep: the same (typically
 /// rescaling) chain at one bandwidth, fused vs back-to-back.
 #[derive(Debug, Clone, Copy, Serialize)]
@@ -346,6 +543,14 @@ pub struct ChannelSweepPoint {
 /// in-order pseudo-channels — so any runtime/idle improvement is pure
 /// head-of-line-blocking relief from channel-aware data placement.
 ///
+/// Degenerate inputs (pinned by the regression tests): a non-finite or
+/// non-positive `bandwidth_gbps` is rejected with
+/// [`CiflowError::InvalidConfig`]; an empty `channel_counts` ladder yields
+/// an empty result; duplicate or unsorted channel counts are evaluated
+/// pointwise in the order given (duplicates produce bit-identical rows);
+/// a channel count of `0` is clamped to one channel by
+/// [`RpuConfig::with_memory_channels`].
+///
 /// # Errors
 ///
 /// Returns the first failing point's [`CiflowError`].
@@ -357,6 +562,7 @@ pub fn try_channel_sweep(
     channel_counts: &[usize],
     mode: PipelineMode,
 ) -> Result<Vec<ChannelSweepPoint>, CiflowError> {
+    validate_bandwidths(&[bandwidth_gbps], "channel sweep")?;
     let spec: StrategySpec = strategy.into();
     let session = Session::new().jobs(channel_counts.iter().map(|&channels| {
         Job::workload(workload.clone(), spec.clone(), mode)
@@ -792,10 +998,17 @@ pub fn try_serve_sweep(
 /// once and shared by every point of the sweep (bandwidth is not part of
 /// the schedule cache key).
 ///
+/// Service times are measured *symbolically*: each request class is executed
+/// once as a [`ParametricTimeline`](rpu::ParametricTimeline) covering the
+/// whole bandwidth ladder, and every grid point evaluates the timelines in
+/// closed form — bit-identical to measuring each point through the engine,
+/// but the measurement cost is per class instead of per class × point.
+///
 /// # Errors
 ///
 /// Returns [`CiflowError::InvalidConfig`] for an empty size or bandwidth
-/// ladder, or the first failing point's error.
+/// ladder or a non-finite/non-positive bandwidth, or the first failing
+/// point's error.
 pub fn try_serve_sweep_in(
     session: &Session,
     base: &ServeConfig,
@@ -814,17 +1027,47 @@ pub fn try_serve_sweep_in(
             message: "serving sweep has an empty bandwidth ladder".to_string(),
         });
     }
+    let (lo, hi) = analytic_range(bandwidths, "serving sweep")?;
+    // Surface structural configuration errors before measuring anything,
+    // exactly as the per-point path would at its first grid point.
+    let mut probe = base.clone();
+    probe.cluster.num_devices = cluster_sizes[0];
+    probe.validate()?;
+
+    // One symbolic run per distinct class; each timeline serves every grid
+    // point of the sweep.
+    let measured = crate::parallel::map(base.classes.clone(), |class| {
+        let job = class.job(spec.clone()).with_rpu(base.cluster.rpu.clone());
+        session.run_analytic(&job, lo, hi)
+    });
+    let mut timelines = Vec::with_capacity(measured.len());
+    let mut strategy_name = spec.display_name();
+    for output in measured {
+        let output = output?;
+        strategy_name = output.strategy.clone();
+        timelines.push(output.timeline);
+    }
+
     let grid: Vec<(usize, f64)> = cluster_sizes
         .iter()
         .flat_map(|&n| bandwidths.iter().map(move |&bw| (n, bw)))
         .collect();
-    let reports = crate::parallel::map(grid, |(num_devices, bandwidth)| {
-        let mut config = base.clone();
-        config.cluster.num_devices = num_devices;
-        config.cluster.rpu = base.cluster.rpu.clone().with_bandwidth(bandwidth);
-        crate::serve::try_serve_in(session, &config, spec.clone())
-    });
-    let mut strategy_name = spec.display_name();
+    let reports =
+        crate::parallel::map(grid, |(num_devices, bandwidth)| -> Result<_, CiflowError> {
+            let mut config = base.clone();
+            config.cluster.num_devices = num_devices;
+            config.cluster.rpu = base.cluster.rpu.clone().with_bandwidth(bandwidth);
+            config.validate()?;
+            let service_seconds: Vec<f64> = timelines
+                .iter()
+                .map(|timeline| timeline.evaluate(bandwidth).runtime_seconds)
+                .collect();
+            Ok(crate::serve::serve_with_service_times(
+                &config,
+                strategy_name.clone(),
+                &service_seconds,
+            ))
+        });
     let mut points = Vec::with_capacity(reports.len());
     for report in reports {
         let report = report?;
@@ -944,6 +1187,156 @@ mod tests {
         for (f, u) in fused.points.iter().zip(&unfused.points) {
             assert!(f.runtime_ms <= u.runtime_ms, "at {} GB/s", f.bandwidth_gbps);
         }
+    }
+
+    #[test]
+    fn analytic_sweep_is_bit_identical_to_the_engine_path() {
+        let workload = Workload::rotation_batch(HksBenchmark::ARK, 4);
+        // Unsorted with a duplicate: evaluated pointwise, in order.
+        let ladder = [64.0, 8.0, 16.0, 8.0, 128.0];
+        for mode in [PipelineMode::Fused, PipelineMode::BackToBack] {
+            let engine = try_workload_sweep(
+                &workload,
+                Dataflow::OutputCentric,
+                &ladder,
+                EvkPolicy::Streamed,
+                1.0,
+                mode,
+            )
+            .unwrap();
+            let analytic = try_analytic_sweep(
+                &workload,
+                Dataflow::OutputCentric,
+                &ladder,
+                EvkPolicy::Streamed,
+                1.0,
+                mode,
+            )
+            .unwrap();
+            assert_eq!(analytic.series.dataflow, engine.dataflow);
+            assert_eq!(analytic.series.points.len(), engine.points.len());
+            for (a, e) in analytic.series.points.iter().zip(&engine.points) {
+                assert_eq!(a.bandwidth_gbps, e.bandwidth_gbps);
+                assert_eq!(
+                    a.runtime_ms.to_bits(),
+                    e.runtime_ms.to_bits(),
+                    "at {} GB/s ({mode:?})",
+                    a.bandwidth_gbps
+                );
+            }
+            // The duplicate ladder entries produced bit-identical rows.
+            assert_eq!(
+                analytic.series.points[1].runtime_ms.to_bits(),
+                analytic.series.points[3].runtime_ms.to_bits()
+            );
+            assert!(analytic.segments >= 1);
+            for &bp in &analytic.breakpoints_gbps {
+                assert!(bp > 8.0 && bp < 128.0, "interior breakpoint {bp}");
+            }
+        }
+    }
+    #[test]
+    fn heterogeneous_analytic_sweep_matches_the_engine_path() {
+        let chain = Workload::rescaling_chain(HksBenchmark::ARK, 3);
+        let ladder = [8.0, 16.0, 64.0];
+        let engine =
+            try_heterogeneous_sweep(&chain, Dataflow::OutputCentric, &ladder, EvkPolicy::OnChip)
+                .unwrap();
+        let analytic = try_heterogeneous_analytic_sweep(
+            &chain,
+            Dataflow::OutputCentric,
+            &ladder,
+            EvkPolicy::OnChip,
+        )
+        .unwrap();
+        assert_eq!(analytic.dataflow, engine.dataflow);
+        assert_eq!(analytic.kernel_towers, engine.kernel_towers);
+        for (a, e) in analytic.points.iter().zip(&engine.points) {
+            assert_eq!(a.bandwidth_gbps, e.bandwidth_gbps);
+            assert_eq!(a.fused_ms.to_bits(), e.fused_ms.to_bits());
+            assert_eq!(a.back_to_back_ms.to_bits(), e.back_to_back_ms.to_bits());
+            assert_eq!(a.fused_idle.to_bits(), e.fused_idle.to_bits());
+            assert_eq!(a.back_to_back_idle.to_bits(), e.back_to_back_idle.to_bits());
+            assert_eq!(a.forwarded_bytes, e.forwarded_bytes);
+        }
+    }
+
+    #[test]
+    fn analytic_sweep_rejects_degenerate_ladders() {
+        let workload = Workload::rotation_batch(HksBenchmark::ARK, 2);
+        let run = |ladder: &[f64]| {
+            try_analytic_sweep(
+                &workload,
+                Dataflow::OutputCentric,
+                ladder,
+                EvkPolicy::OnChip,
+                1.0,
+                PipelineMode::Fused,
+            )
+        };
+        // Empty, zero, negative and non-finite ladders are all rejected.
+        for bad in [
+            &[] as &[f64],
+            &[0.0],
+            &[64.0, 0.0],
+            &[-8.0],
+            &[f64::NAN],
+            &[f64::INFINITY],
+        ] {
+            assert!(
+                matches!(run(bad), Err(CiflowError::InvalidConfig { .. })),
+                "ladder {bad:?} must be rejected"
+            );
+        }
+        // A single-point ladder is legal and matches the engine.
+        let single = run(&[25.6]).unwrap();
+        assert_eq!(single.series.points.len(), 1);
+        assert!(single.breakpoints_gbps.is_empty());
+        let engine = try_workload_sweep(
+            &workload,
+            Dataflow::OutputCentric,
+            &[25.6],
+            EvkPolicy::OnChip,
+            1.0,
+            PipelineMode::Fused,
+        )
+        .unwrap();
+        assert_eq!(
+            single.series.points[0].runtime_ms.to_bits(),
+            engine.points[0].runtime_ms.to_bits()
+        );
+    }
+
+    #[test]
+    fn channel_sweep_rejects_invalid_bandwidths() {
+        let workload = Workload::rotation_batch(HksBenchmark::ARK, 2);
+        for bad in [0.0, -64.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    try_channel_sweep(
+                        &workload,
+                        Dataflow::OutputCentric,
+                        bad,
+                        EvkPolicy::OnChip,
+                        &CHANNEL_LADDER,
+                        PipelineMode::Fused,
+                    ),
+                    Err(CiflowError::InvalidConfig { .. })
+                ),
+                "bandwidth {bad} must be rejected"
+            );
+        }
+        // An empty channel ladder is an empty sweep, not an error.
+        let empty = try_channel_sweep(
+            &workload,
+            Dataflow::OutputCentric,
+            64.0,
+            EvkPolicy::OnChip,
+            &[],
+            PipelineMode::Fused,
+        )
+        .unwrap();
+        assert!(empty.is_empty());
     }
 
     #[test]

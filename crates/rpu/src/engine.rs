@@ -137,6 +137,35 @@ pub struct RunResult {
     pub trace: ExecutionTrace,
 }
 
+/// The grant comparator: does `candidate` win the freed data path over the
+/// best head found so far? The engine grants the *oldest* (lowest task id,
+/// i.e. earliest program order) dependency-ready channel head, so the
+/// comparator is a plain id comparison with "no incumbent" losing to
+/// everything. [`crate::analytic`] replays the same comparator symbolically,
+/// which is what makes the parametric timeline's grant choices provably the
+/// engine's own.
+#[inline]
+#[must_use]
+pub fn grant_precedes(candidate: TaskId, incumbent: Option<TaskId>) -> bool {
+    incumbent.is_none_or(|best| candidate < best)
+}
+
+/// The per-execution queue and dependency layout shared by the concrete
+/// engine loop and the symbolic executor in [`crate::analytic`]: the in-order
+/// compute queue, one in-order queue per memory channel, the
+/// remaining-dependency counters, and the dependents CSR adjacency. Both
+/// executors derive their control flow from this one structure, so a task
+/// lands in the same queue with the same dependency bookkeeping in either
+/// mode by construction.
+pub(crate) struct EngineLayout {
+    pub compute_queue: Vec<TaskId>,
+    pub memory_queues: Vec<Vec<TaskId>>,
+    pub memory_tasks: usize,
+    pub remaining: Vec<u32>,
+    pub offsets: Vec<usize>,
+    pub dependents: Vec<TaskId>,
+}
+
 /// The task-level RPU simulator.
 #[derive(Debug, Clone)]
 pub struct RpuEngine {
@@ -224,16 +253,10 @@ impl RpuEngine {
         self.run(graph, None)
     }
 
-    /// The shared simulation core. `trace` selects the mode: `Some` records a
-    /// [`TaskRecord`] per completed task, `None` skips all per-task
-    /// allocation. Everything else — issue, grant, retirement, statistics —
-    /// is one code path, which is what makes the two public modes
-    /// bit-identical.
-    fn run(
-        &self,
-        graph: &TaskGraph,
-        mut trace: Option<&mut ExecutionTrace>,
-    ) -> Result<ExecutionStats, EngineError> {
+    /// Builds the [`EngineLayout`] for one execution: queue contents in
+    /// program order, remaining-dependency counters and the dependents CSR
+    /// (one offsets array plus one flat edge array, built in O(V + E)).
+    pub(crate) fn layout(&self, graph: &TaskGraph) -> EngineLayout {
         let tasks = graph.tasks();
         let n = tasks.len();
         let channels = self.config.memory_channel_count();
@@ -249,15 +272,7 @@ impl RpuEngine {
             memory_queues[self.channel_of(task)].push(task.id);
             memory_tasks += 1;
         }
-
-        // Incremental ready-tracking state: per task, the number of
-        // dependencies not yet retired and the max finish time over the
-        // retired ones. Retirement walks the dependents adjacency (CSR: one
-        // offsets array plus one flat edge array, built in O(V + E)), so
-        // dependency resolution costs O(1) amortized per edge instead of a
-        // per-event rescan of every queue head's dependency list.
-        let mut remaining: Vec<u32> = tasks.iter().map(|t| t.dependencies.len() as u32).collect();
-        let mut ready_at: Vec<f64> = vec![0.0; n];
+        let remaining: Vec<u32> = tasks.iter().map(|t| t.dependencies.len() as u32).collect();
         let mut offsets: Vec<usize> = vec![0; n + 1];
         for task in tasks {
             for &d in &task.dependencies {
@@ -275,6 +290,42 @@ impl RpuEngine {
                 cursor[d] += 1;
             }
         }
+        EngineLayout {
+            compute_queue,
+            memory_queues,
+            memory_tasks,
+            remaining,
+            offsets,
+            dependents,
+        }
+    }
+
+    /// The shared simulation core. `trace` selects the mode: `Some` records a
+    /// [`TaskRecord`] per completed task, `None` skips all per-task
+    /// allocation. Everything else — issue, grant, retirement, statistics —
+    /// is one code path, which is what makes the two public modes
+    /// bit-identical.
+    fn run(
+        &self,
+        graph: &TaskGraph,
+        mut trace: Option<&mut ExecutionTrace>,
+    ) -> Result<ExecutionStats, EngineError> {
+        let tasks = graph.tasks();
+        let channels = self.config.memory_channel_count();
+        // Incremental ready-tracking state: per task, the number of
+        // dependencies not yet retired and the max finish time over the
+        // retired ones. Retirement walks the dependents adjacency, so
+        // dependency resolution costs O(1) amortized per edge instead of a
+        // per-event rescan of every queue head's dependency list.
+        let EngineLayout {
+            compute_queue,
+            memory_queues,
+            memory_tasks,
+            mut remaining,
+            offsets,
+            dependents,
+        } = self.layout(graph);
+        let mut ready_at: Vec<f64> = vec![0.0; tasks.len()];
 
         let mut stats = ExecutionStats {
             compute_tasks: compute_queue.len(),
@@ -324,7 +375,8 @@ impl RpuEngine {
                 let mut grant: Option<(TaskId, usize)> = None;
                 for (channel, queue) in memory_queues.iter().enumerate() {
                     if let Some(&head) = queue.get(mi[channel]) {
-                        if remaining[head] == 0 && grant.is_none_or(|(best, _)| head < best) {
+                        if remaining[head] == 0 && grant_precedes(head, grant.map(|(best, _)| best))
+                        {
                             grant = Some((head, channel));
                         }
                     }
@@ -432,7 +484,7 @@ impl RpuEngine {
 /// when u is t's queue head. This is the runtime witness of the augmented
 /// cycle that [`crate::verify::lint_deadlock`] (lint `D001`) detects
 /// statically.
-fn deadlock_error(
+pub(crate) fn deadlock_error(
     tasks: &[Task],
     compute_queue: &[TaskId],
     ci: usize,

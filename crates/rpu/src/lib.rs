@@ -18,6 +18,9 @@
 //!   one in-order queue per DRAM pseudo-channel) producing runtimes, idle
 //!   fractions and per-task traces; timing semantics in
 //!   `docs/MEMORY_MODEL.md`.
+//! * [`analytic`] — closed-form bandwidth sweeps: one symbolic execution per
+//!   event-order segment yields a [`analytic::ParametricTimeline`] whose
+//!   per-point evaluation is bit-identical to the engine (`docs/ANALYTIC.md`).
 //! * [`channel::ChannelMap`] — deterministic buffer-to-channel placement for
 //!   the multi-channel memory model (label hash plus overridable pin rules).
 //! * [`memory::OnChipTracker`] — capacity bookkeeping used while generating
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analytic;
 pub mod channel;
 pub mod config;
 pub mod engine;
@@ -56,9 +60,10 @@ pub mod task;
 pub mod trace;
 pub mod verify;
 
+pub use analytic::{AffineTime, ParametricTimeline, Segment, TaskTimes};
 pub use channel::ChannelMap;
 pub use config::{EvkPolicy, RpuConfig, MIB};
-pub use engine::{EngineError, RpuEngine, RunResult, TraceMode};
+pub use engine::{grant_precedes, EngineError, RpuEngine, RunResult, TraceMode};
 pub use isa::{B1kInstruction, InstructionClass, KernelCosts};
 pub use memory::{AllocationOutcome, OnChipTracker};
 pub use stats::ExecutionStats;

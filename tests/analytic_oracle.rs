@@ -1,0 +1,180 @@
+//! Agreement oracle between the parametric timeline and the event engine.
+//!
+//! `rpu::analytic` claims that [`ParametricTimeline::evaluate`] is
+//! **bit-identical** to running [`RpuEngine::execute_stats`] at the same
+//! bandwidth — no tolerance, every field. This suite stress-tests the claim
+//! where it is most likely to break:
+//!
+//! 1. Random structurally-valid task graphs (the `lint_oracle` generator)
+//!    across 1/2/4/8 memory channels, sampled at every reported breakpoint,
+//!    one ulp inside each side of every segment edge, and at random interior
+//!    points of the analyzed range.
+//! 2. Real strategy schedules — every dataflow, both evk policies — through
+//!    the same sampling grid.
+//!
+//! On divergence the failure message pins down the *first differing event*:
+//! the replayed per-task spans ([`ParametricTimeline::sampled_times`]) are
+//! diffed against the engine's full trace at the offending bandwidth.
+
+use ciflow::schedule::{build_schedule, ScheduleConfig};
+use ciflow::{Dataflow, HksBenchmark, HksShape};
+use common::{assert_stats_bit_identical, random_valid_tasks};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpu::{EvkPolicy, ParametricTimeline, RpuConfig, RpuEngine, TaskGraph};
+
+#[path = "common/mod.rs"]
+mod common;
+
+const LO_GBPS: f64 = 8.0;
+const HI_GBPS: f64 = 1024.0;
+
+/// The sampling grid for one timeline: range ends, every breakpoint, one ulp
+/// inside each side of every segment edge, and deterministic interior points.
+fn sample_points(timeline: &ParametricTimeline, seed: u64) -> Vec<f64> {
+    let mut points = vec![LO_GBPS, HI_GBPS];
+    for b in timeline.breakpoints_gbps() {
+        points.extend([b, b.next_down(), b.next_up()]);
+    }
+    for segment in timeline.segments() {
+        let (lo, hi) = segment.bandwidth_range_gbps();
+        points.extend([lo, lo.next_up(), hi, hi.next_down()]);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..16 {
+        // Log-uniform interior points so the low-bandwidth decade is not
+        // starved.
+        let t: f64 = rng.gen_range(0.0..1.0);
+        points.push(LO_GBPS * (HI_GBPS / LO_GBPS).powf(t));
+    }
+    points.retain(|b| (LO_GBPS..=HI_GBPS).contains(b));
+    points
+}
+
+/// Formats the first event where the timeline's replayed spans and the
+/// engine's trace disagree, for a failure message worth reading.
+fn first_divergence(
+    engine: &RpuEngine,
+    graph: &TaskGraph,
+    timeline: &ParametricTimeline,
+    bandwidth_gbps: f64,
+) -> String {
+    let traced = engine.config().clone().with_bandwidth(bandwidth_gbps);
+    let traced = RpuEngine::new(traced)
+        .with_channel_map(engine.channel_map().clone())
+        .execute(graph)
+        .expect("oracle graphs do not deadlock");
+    let Some(replayed) = timeline.sampled_times(bandwidth_gbps) else {
+        return format!("no certifying segment at {bandwidth_gbps} GB/s (engine fallback path)");
+    };
+    for (i, (ours, reference)) in replayed.iter().zip(traced.trace.records()).enumerate() {
+        if ours.task != reference.task
+            || ours.start_seconds.to_bits() != reference.start_seconds.to_bits()
+            || ours.end_seconds.to_bits() != reference.end_seconds.to_bits()
+        {
+            return format!(
+                "first differing event at {bandwidth_gbps} GB/s is #{i}: \
+                 replay has task {} ({}) [{:.9e}, {:.9e}], engine has task {} ({}) [{:.9e}, {:.9e}]",
+                ours.task,
+                ours.label,
+                ours.start_seconds,
+                ours.end_seconds,
+                reference.task,
+                reference.label,
+                reference.start_seconds,
+                reference.end_seconds,
+            );
+        }
+    }
+    format!("event traces agree at {bandwidth_gbps} GB/s (stats-only divergence)")
+}
+
+/// Analyzes `graph` on `engine` and asserts evaluate == execute_stats, bit
+/// for bit, over the whole sampling grid.
+fn assert_oracle_agreement(engine: &RpuEngine, graph: &TaskGraph, seed: u64, context: &str) {
+    let timeline = engine
+        .analyze(graph, LO_GBPS, HI_GBPS)
+        .expect("oracle graphs do not deadlock");
+    for bandwidth in sample_points(&timeline, seed) {
+        let expected = RpuEngine::new(engine.config().clone().with_bandwidth(bandwidth))
+            .with_channel_map(engine.channel_map().clone())
+            .execute_stats(graph)
+            .expect("oracle graphs do not deadlock");
+        let got = timeline.evaluate(bandwidth);
+        let agree = expected.runtime_seconds.to_bits() == got.runtime_seconds.to_bits()
+            && expected.compute_busy_seconds.to_bits() == got.compute_busy_seconds.to_bits()
+            && expected.memory_busy_seconds.to_bits() == got.memory_busy_seconds.to_bits();
+        assert!(
+            agree,
+            "{context}: analytic evaluation diverges from the engine at {bandwidth} GB/s\n{}",
+            first_divergence(engine, graph, &timeline, bandwidth)
+        );
+        // The cheap fields agreed; now hold every field to the same bar.
+        assert_stats_bit_identical(&expected, &got);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_graphs_evaluate_bit_identically_across_channel_counts(
+        seed in 0u64..(1 << 32),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(4usize..40);
+        let graph = TaskGraph::from_tasks_unchecked(random_valid_tasks(&mut rng, n));
+        for channels in [1usize, 2, 4, 8] {
+            let engine =
+                RpuEngine::new(RpuConfig::ciflow_baseline().with_memory_channels(channels));
+            assert_oracle_agreement(&engine, &graph, seed, &format!("seed {seed} x{channels}"));
+        }
+    }
+}
+
+#[test]
+fn strategy_schedules_evaluate_bit_identically() {
+    // Real schedules: every dataflow, both evk policies, across channel
+    // counts — the shapes the analytic sweep API actually serves.
+    for dataflow in Dataflow::all() {
+        for evk_policy in [EvkPolicy::Streamed, EvkPolicy::OnChip] {
+            let config = ScheduleConfig::with_data_memory(32 * rpu::MIB, evk_policy);
+            let schedule = build_schedule(dataflow, &HksShape::new(HksBenchmark::ARK), &config);
+            for channels in [1usize, 4] {
+                let engine = RpuEngine::new(
+                    RpuConfig::ciflow_with_policy(evk_policy).with_memory_channels(channels),
+                )
+                .with_channel_map(schedule.channel_map(channels));
+                assert_oracle_agreement(
+                    &engine,
+                    &schedule.graph,
+                    7,
+                    &format!("{dataflow} {evk_policy:?} x{channels}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn the_timeline_reports_real_breakpoints_for_a_real_schedule() {
+    // Sanity on the shape of the answer itself: a streamed OC schedule over
+    // the full range derives a small number of wide segments, is not
+    // truncated, and its breakpoints lie strictly inside the range.
+    let config = ScheduleConfig::with_data_memory(32 * rpu::MIB, EvkPolicy::Streamed);
+    let schedule = build_schedule(
+        Dataflow::OutputCentric,
+        &HksShape::new(HksBenchmark::ARK),
+        &config,
+    );
+    let engine = RpuEngine::new(RpuConfig::ciflow_streaming());
+    let timeline = engine
+        .analyze(&schedule.graph, LO_GBPS, HI_GBPS)
+        .expect("schedule does not deadlock");
+    assert!(!timeline.is_truncated(), "full range must be covered");
+    assert!(!timeline.segments().is_empty());
+    for b in timeline.breakpoints_gbps() {
+        assert!(b > LO_GBPS && b < HI_GBPS, "interior breakpoint, got {b}");
+    }
+}

@@ -5,16 +5,12 @@
 use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
 use ciflow::hks_shape::HksShape;
-use ciflow::schedule::{build_schedule, ScheduleConfig};
+use ciflow::schedule::build_schedule;
+use common::streamed;
 use proptest::prelude::*;
-use rpu::EvkPolicy;
 
-fn streamed(data_mib: u64) -> ScheduleConfig {
-    ScheduleConfig {
-        data_memory_bytes: data_mib * rpu::MIB,
-        evk_policy: EvkPolicy::Streamed,
-    }
-}
+#[path = "common/mod.rs"]
+mod common;
 
 #[test]
 fn operation_parity_across_dataflows_and_benchmarks() {

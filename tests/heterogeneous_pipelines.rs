@@ -16,8 +16,12 @@ use ciflow::error::CiflowError;
 use ciflow::schedule::ScheduleConfig;
 use ciflow::sweep::{try_heterogeneous_sweep, BANDWIDTH_LADDER, CHANNEL_LADDER};
 use ciflow::workload::{build_workload, KernelStep, PipelineMode, Workload};
+use common::{baseline_at, streaming_at};
 use proptest::prelude::*;
-use rpu::{EvkPolicy, RpuConfig};
+use rpu::EvkPolicy;
+
+#[path = "common/mod.rs"]
+mod common;
 
 /// The acceptance chain: ℓ decays over more than three steps.
 fn acceptance_chain() -> Workload {
@@ -28,7 +32,7 @@ fn acceptance_chain() -> Workload {
 fn rescaling_chain_runs_under_every_builtin_strategy_in_both_modes() {
     let chain = acceptance_chain();
     let expected_ladder: Vec<usize> = vec![24, 23, 22, 21, 20];
-    let mut session = Session::new().with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(12.8));
+    let mut session = Session::new().with_rpu(baseline_at(12.8));
     for dataflow in Dataflow::all() {
         for mode in [PipelineMode::Fused, PipelineMode::BackToBack] {
             session = session.push(Job::workload(chain.clone(), dataflow, mode));
@@ -73,11 +77,8 @@ fn traffic_invariant_holds_across_the_fig4_ladder_and_channel_counts() {
     let chain = Workload::rescaling_chain(HksBenchmark::DPRIVE, 4);
     for &channels in &CHANNEL_LADDER {
         for &bandwidth in &BANDWIDTH_LADDER {
-            let session = Session::new().with_rpu(
-                RpuConfig::ciflow_streaming()
-                    .with_bandwidth(bandwidth)
-                    .with_memory_channels(channels),
-            );
+            let session =
+                Session::new().with_rpu(streaming_at(bandwidth).with_memory_channels(channels));
             let fused = session
                 .run_workload(chain.clone(), Dataflow::OutputCentric, PipelineMode::Fused)
                 .unwrap();

@@ -21,13 +21,14 @@ use ciflow::lint::{self, codes};
 use ciflow::schedule::{build_schedule, ScheduleConfig};
 use ciflow::workload::{build_workload, PipelineMode, Workload};
 use ciflow::{Dataflow, HksBenchmark, HksShape};
+use common::random_valid_tasks;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rpu::{
-    ComputeKind, EngineError, EvkPolicy, MemoryDirection, RpuConfig, RpuEngine, Task, TaskGraph,
-    TaskKind,
-};
+use rpu::{EngineError, EvkPolicy, RpuConfig, RpuEngine, TaskGraph};
+
+#[path = "common/mod.rs"]
+mod common;
 
 /// True when the graph-level lint predicts a deadlock for this engine's
 /// channel count and placement.
@@ -53,51 +54,6 @@ fn assert_agreement(graph: &TaskGraph, context: &str) {
             ),
         }
     }
-}
-
-/// A structurally well-formed random graph (ids == indices, deps in range,
-/// no self-deps) whose dependencies all point backwards — the kind
-/// [`TaskGraph::from_tasks`] accepts, which therefore can never deadlock.
-fn random_valid_tasks(rng: &mut StdRng, n: usize) -> Vec<Task> {
-    (0..n)
-        .map(|i| {
-            let mut dependencies = Vec::new();
-            if i > 0 {
-                for _ in 0..rng.gen_range(0usize..3) {
-                    dependencies.push(rng.gen_range(0usize..i));
-                }
-                dependencies.sort_unstable();
-                dependencies.dedup();
-            }
-            let kind = if rng.gen_bool(0.4) {
-                TaskKind::Compute {
-                    kind: ComputeKind::Ntt,
-                    ops: rng.gen_range(1u64..1000),
-                }
-            } else {
-                TaskKind::Memory {
-                    direction: if rng.gen_bool(0.5) {
-                        MemoryDirection::Load
-                    } else {
-                        MemoryDirection::Store
-                    },
-                    bytes: rng.gen_range(1u64..10_000),
-                }
-            };
-            Task {
-                id: i,
-                kind,
-                dependencies,
-                label: format!("t{i}").into(),
-                stage: "P1".into(),
-                channel: if rng.gen_bool(0.5) {
-                    Some(rng.gen_range(0usize..8))
-                } else {
-                    None
-                },
-            }
-        })
-        .collect()
 }
 
 proptest! {

@@ -9,7 +9,11 @@ use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
 use ciflow::sweep::{try_channel_sweep, CHANNEL_LADDER};
 use ciflow::workload::{PipelineMode, Workload};
-use rpu::{EvkPolicy, RpuConfig};
+use common::streaming_at;
+use rpu::EvkPolicy;
+
+#[path = "common/mod.rs"]
+mod common;
 
 /// The exact scenarios the `workload_pipelines` binary prints in its
 /// memory-channel sweep section.
@@ -81,7 +85,7 @@ fn single_channel_is_bit_identical_to_the_default_configuration() {
     // and fused pipelines alike.
     for benchmark in [HksBenchmark::ARK, HksBenchmark::BTS3] {
         for dataflow in Dataflow::all() {
-            let base_rpu = RpuConfig::ciflow_streaming().with_bandwidth(25.6);
+            let base_rpu = streaming_at(25.6);
             let session = Session::new();
             let default_run = session
                 .run_job(&Job::new(benchmark, dataflow).with_rpu(base_rpu.clone()))
@@ -110,16 +114,12 @@ fn single_channel_is_bit_identical_to_the_default_configuration() {
     }
     // Fused pipeline path too.
     let workload = Workload::rotation_batch(HksBenchmark::ARK, 6);
-    let session = Session::new().with_rpu(RpuConfig::ciflow_streaming().with_bandwidth(12.8));
+    let session = Session::new().with_rpu(streaming_at(12.8));
     let default_run = session
         .run_workload(workload.clone(), "OC", PipelineMode::Fused)
         .unwrap();
     let one_channel = Session::new()
-        .with_rpu(
-            RpuConfig::ciflow_streaming()
-                .with_bandwidth(12.8)
-                .with_memory_channels(1),
-        )
+        .with_rpu(streaming_at(12.8).with_memory_channels(1))
         .run_workload(workload, "OC", PipelineMode::Fused)
         .unwrap();
     assert_eq!(
@@ -134,11 +134,7 @@ fn channel_accounting_sums_to_total_memory_busy_through_the_session() {
     // exactly, through the full session path (schedule-derived channel map).
     for channels in CHANNEL_LADDER {
         let output = Session::new()
-            .with_rpu(
-                RpuConfig::ciflow_streaming()
-                    .with_bandwidth(25.6)
-                    .with_memory_channels(channels),
-            )
+            .with_rpu(streaming_at(25.6).with_memory_channels(channels))
             .run_workload(
                 Workload::rotation_batch(HksBenchmark::ARK, 4),
                 "OC",

@@ -14,39 +14,13 @@ use ciflow::dataflow::Dataflow;
 use ciflow::sweep::BANDWIDTH_LADDER;
 use ciflow::workload::{build_workload, PipelineMode, Workload};
 use ciflow::ScheduleConfig;
+use common::{assert_stats_bit_identical, streaming_at};
 use proptest::prelude::*;
-use rpu::{EvkPolicy, ExecutionStats, RpuConfig, RpuEngine, TraceMode};
+use rpu::{EvkPolicy, RpuConfig, RpuEngine, TraceMode};
 use std::sync::Arc;
 
-/// Bit-level equality of every field of two [`ExecutionStats`] (plain
-/// `assert_eq!` would accept `-0.0 == 0.0`).
-fn assert_stats_bit_identical(a: &ExecutionStats, b: &ExecutionStats) {
-    assert_eq!(a.runtime_seconds.to_bits(), b.runtime_seconds.to_bits());
-    assert_eq!(
-        a.compute_busy_seconds.to_bits(),
-        b.compute_busy_seconds.to_bits()
-    );
-    assert_eq!(
-        a.memory_busy_seconds.to_bits(),
-        b.memory_busy_seconds.to_bits()
-    );
-    assert_eq!(
-        a.memory_channel_busy_seconds.len(),
-        b.memory_channel_busy_seconds.len()
-    );
-    for (x, y) in a
-        .memory_channel_busy_seconds
-        .iter()
-        .zip(&b.memory_channel_busy_seconds)
-    {
-        assert_eq!(x.to_bits(), y.to_bits());
-    }
-    assert_eq!(a.total_ops, b.total_ops);
-    assert_eq!(a.bytes_loaded, b.bytes_loaded);
-    assert_eq!(a.bytes_stored, b.bytes_stored);
-    assert_eq!(a.compute_tasks, b.compute_tasks);
-    assert_eq!(a.memory_tasks, b.memory_tasks);
-}
+#[path = "common/mod.rs"]
+mod common;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -97,7 +71,7 @@ fn session_trace_modes_agree_on_stats() {
             dataflow,
             PipelineMode::Fused,
         )
-        .with_rpu(RpuConfig::ciflow_streaming().with_bandwidth(25.6));
+        .with_rpu(streaming_at(25.6));
         let stats_only = Session::new().run_job(&job).unwrap();
         let traced = Session::new()
             .with_trace(TraceMode::Full)
@@ -118,11 +92,7 @@ fn schedule_cache_hit_matches_cold_build_exactly() {
             Dataflow::OutputCentric,
             PipelineMode::Fused,
         )
-        .with_rpu(
-            RpuConfig::ciflow_streaming()
-                .with_bandwidth(bandwidth)
-                .with_memory_channels(4),
-        )
+        .with_rpu(streaming_at(bandwidth).with_memory_channels(4))
     };
 
     // Warm session: the second run of an identically-keyed job hits the
@@ -173,7 +143,7 @@ fn batch_jobs_share_one_template_per_distinct_key() {
     let session = Session::new().jobs(BANDWIDTH_LADDER.iter().flat_map(|&bw| {
         [PipelineMode::Fused, PipelineMode::BackToBack].map(|mode| {
             Job::workload(workload.clone(), Dataflow::OutputCentric, mode)
-                .with_rpu(RpuConfig::ciflow_streaming().with_bandwidth(bw))
+                .with_rpu(streaming_at(bw))
         })
     }));
     let outputs = session.run().into_outputs().unwrap();

@@ -7,7 +7,11 @@ use ciflow::dataflow::Dataflow;
 use ciflow::hks_shape::HksShape;
 use ciflow::runner::HksRun;
 use ciflow::schedule::{build_schedule, ScheduleConfig};
-use rpu::{EvkPolicy, RpuConfig, RpuEngine};
+use common::{baseline_at, streaming_at};
+use rpu::{EvkPolicy, RpuEngine};
+
+#[path = "common/mod.rs"]
+mod common;
 
 #[test]
 fn runtime_is_monotone_in_bandwidth_for_all_dataflows() {
@@ -15,7 +19,7 @@ fn runtime_is_monotone_in_bandwidth_for_all_dataflows() {
         let mut last = f64::INFINITY;
         for bw in [8.0, 16.0, 32.0, 64.0, 128.0, 512.0] {
             let result = HksRun::new(HksBenchmark::ARK, dataflow)
-                .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(bw))
+                .with_rpu(baseline_at(bw))
                 .execute()
                 .unwrap();
             let runtime = result.stats.runtime_seconds;
@@ -39,7 +43,7 @@ fn runtime_never_beats_the_compute_and_memory_bounds() {
         for dataflow in Dataflow::all() {
             let schedule = build_schedule(dataflow, &HksShape::new(bench), &config);
             for bw in [8.0, 64.0, 1024.0] {
-                let rpu = RpuConfig::ciflow_streaming().with_bandwidth(bw);
+                let rpu = streaming_at(bw);
                 let engine = RpuEngine::new(rpu.clone());
                 let stats = engine.execute(&schedule.graph).unwrap().stats;
                 let compute_bound = schedule.total_ops() as f64 / rpu.modops_per_second();
@@ -63,7 +67,7 @@ fn runtime_never_beats_the_compute_and_memory_bounds() {
 fn compute_idle_fraction_shrinks_with_bandwidth() {
     let at = |bw: f64| {
         HksRun::new(HksBenchmark::DPRIVE, Dataflow::OutputCentric)
-            .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(bw))
+            .with_rpu(baseline_at(bw))
             .execute()
             .unwrap()
             .stats
@@ -80,7 +84,7 @@ fn oc_is_less_idle_than_mp_at_low_bandwidth() {
     // DPRIVE versus ~73% for MP. Require a clear gap, not exact numbers.
     let idle = |dataflow| {
         HksRun::new(HksBenchmark::DPRIVE, dataflow)
-            .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(12.8))
+            .with_rpu(baseline_at(12.8))
             .execute()
             .unwrap()
             .stats
@@ -100,11 +104,7 @@ fn modops_scaling_only_helps_when_compute_bound() {
     // high bandwidth it nearly halves it (Figure 8's two regimes).
     let runtime = |bw: f64, modops: f64| {
         HksRun::new(HksBenchmark::ARK, Dataflow::OutputCentric)
-            .with_rpu(
-                RpuConfig::ciflow_baseline()
-                    .with_bandwidth(bw)
-                    .with_modops(modops),
-            )
+            .with_rpu(baseline_at(bw).with_modops(modops))
             .execute()
             .unwrap()
             .stats

@@ -9,7 +9,11 @@ use ciflow::dataflow::Dataflow;
 use ciflow::sweep::try_workload_sweep;
 use ciflow::workload::{build_workload, KernelStep, PipelineMode, Workload};
 use ciflow::HksShape;
+use common::{baseline_at, streaming_at};
 use rpu::{EvkPolicy, RpuConfig};
+
+#[path = "common/mod.rs"]
+mod common;
 
 /// DDR4-class off-chip bandwidths (GB/s).
 const DDR4_BANDWIDTHS: [f64; 2] = [8.0, 12.8];
@@ -21,8 +25,7 @@ fn fused_pipelines_beat_back_to_back_for_oc_at_ddr4_bandwidth() {
     // fraction than running the kernels back-to-back unfused.
     for benchmark in [HksBenchmark::ARK, HksBenchmark::DPRIVE] {
         for &bandwidth in &DDR4_BANDWIDTHS {
-            let session =
-                Session::new().with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(bandwidth));
+            let session = Session::new().with_rpu(baseline_at(bandwidth));
             let workload = Workload::rotation_batch(benchmark, 8);
             let fused = session
                 .run_workload(
@@ -58,7 +61,7 @@ fn pipelines_run_under_every_builtin_strategy_in_one_batch() {
     // strategy on the bootstrap preset, with per-job results.
     let workload = Workload::bootstrap_key_switch(HksBenchmark::ARK);
     let kernels = workload.hks_invocations();
-    let mut session = Session::new().with_rpu(RpuConfig::ciflow_streaming().with_bandwidth(25.6));
+    let mut session = Session::new().with_rpu(streaming_at(25.6));
     for dataflow in Dataflow::all() {
         for mode in [PipelineMode::Fused, PipelineMode::BackToBack] {
             session = session.push(Job::workload(workload.clone(), dataflow, mode));
