@@ -52,6 +52,27 @@ pub struct EngineExecutionPerf {
     pub stats_only_ms: f64,
 }
 
+/// Host cost and model output of the static bound analysis
+/// ([`rpu::bound::analyze`]) on the same reference schedule the
+/// engine-execution section runs (ARK output-centric, evks streamed,
+/// 12.8 GB/s). The headline comparison: proving the makespan bound costs
+/// about as much as one stats-only execution, and the achieved-vs-bound
+/// efficiency says how much of the engine's runtime the static model
+/// already explains.
+#[derive(Debug, Clone)]
+pub struct StaticBoundsPerf {
+    /// Number of tasks in the analyzed graph.
+    pub tasks: usize,
+    /// Best-of-N wall time of [`rpu::bound::analyze`], in ms.
+    pub analyze_ms: f64,
+    /// The provable makespan lower bound at the reference point, in ms
+    /// (a model output, stable across hosts).
+    pub makespan_bound_ms: f64,
+    /// `bound / achieved runtime` at the reference point — 1.0 means the
+    /// engine hits the provable bound exactly; sound, so never above 1.
+    pub bound_efficiency: f64,
+}
+
 /// Wall time of the full workload sweep (the acceptance benchmark): an
 /// 8-rotation ARK pipeline swept across the Fig-4 bandwidth ladder, fused
 /// and back-to-back.
@@ -86,6 +107,11 @@ impl WorkloadSweepPerf {
 /// `optimized_ms` behavior); the analytic path runs
 /// [`ciflow::sweep::try_analytic_sweep_in`] with a warm timeline cache, and
 /// the harness asserts both return bit-identical runtimes before timing.
+/// The analytic wall time also covers the static bound curve and roofline
+/// knee the sweep now returns (`rpu::bound::bound_curve` — lane-batched,
+/// about half the cost of the timeline evaluation itself), output the
+/// engine path does not produce, so the recorded speedup under-states pure
+/// timeline evaluation.
 #[derive(Debug, Clone)]
 pub struct AnalyticSweepPerf {
     /// Workload name.
@@ -149,6 +175,8 @@ pub struct PerfReport {
     pub schedule_generation: ScheduleGenerationPerf,
     /// Engine-execution section.
     pub engine_execution: EngineExecutionPerf,
+    /// Static bound-analysis section.
+    pub static_bounds: StaticBoundsPerf,
     /// Workload-sweep section (the acceptance benchmark).
     pub workload_sweep: WorkloadSweepPerf,
     /// Closed-form analytic-sweep section.
@@ -215,6 +243,32 @@ fn measure_engine_execution(iters: usize) -> EngineExecutionPerf {
         tasks: schedule.graph.len(),
         traced_ms,
         stats_only_ms,
+    }
+}
+
+fn measure_static_bounds(iters: usize) -> StaticBoundsPerf {
+    let config = ScheduleConfig {
+        data_memory_bytes: 32 * rpu::MIB,
+        evk_policy: EvkPolicy::Streamed,
+    };
+    let schedule = build_schedule(
+        Dataflow::OutputCentric,
+        &HksShape::new(HksBenchmark::ARK),
+        &config,
+    );
+    let engine = RpuEngine::new(RpuConfig::ciflow_streaming().with_bandwidth(12.8));
+    let analyze_ms = best_ms(iters, || {
+        std::hint::black_box(engine.bounds(&schedule.graph));
+    });
+    let analysis = engine.bounds(&schedule.graph);
+    let stats = engine
+        .execute_stats(&schedule.graph)
+        .expect("schedule executes");
+    StaticBoundsPerf {
+        tasks: schedule.graph.len(),
+        analyze_ms,
+        makespan_bound_ms: analysis.makespan_bound_ms(),
+        bound_efficiency: analysis.efficiency(stats.runtime_seconds),
     }
 }
 
@@ -415,6 +469,7 @@ fn measure_with_ladders(iters: usize, bandwidths: &[f64], analytic_points: usize
         iterations: iters.max(1),
         schedule_generation: measure_schedule_generation(iters),
         engine_execution: measure_engine_execution(iters),
+        static_bounds: measure_static_bounds(iters),
         workload_sweep: measure_workload_sweep(iters, bandwidths),
         analytic_sweep: measure_analytic_sweep(iters, analytic_points),
         serving: measure_serving(iters),
@@ -454,12 +509,13 @@ impl PerfReport {
     pub fn to_json(&self) -> String {
         let g = &self.schedule_generation;
         let e = &self.engine_execution;
+        let b = &self.static_bounds;
         let w = &self.workload_sweep;
         let a = &self.analytic_sweep;
         let s = &self.serving;
         format!(
             r#"{{
-  "schema": "ciflow.perf_report.v3",
+  "schema": "ciflow.perf_report.v4",
   "threads": {threads},
   "iterations": {iterations},
   "schedule_generation": {{
@@ -470,6 +526,13 @@ impl PerfReport {
     "tasks": {tasks},
     "traced_ms": {traced},
     "stats_only_ms": {stats_only}
+  }},
+  "static_bounds": {{
+    "tasks": {bound_tasks},
+    "analyze_ms": {bound_analyze},
+    "makespan_bound_ms": {bound_makespan},
+    "bound_efficiency": {bound_efficiency},
+    "reference_point": "ARK OC, evks streamed, 12.8 GB/s -- same schedule as engine_execution"
   }},
   "workload_sweep": {{
     "workload": "{workload}",
@@ -509,6 +572,10 @@ impl PerfReport {
             tasks = e.tasks,
             traced = json_f64(e.traced_ms),
             stats_only = json_f64(e.stats_only_ms),
+            bound_tasks = b.tasks,
+            bound_analyze = json_f64(b.analyze_ms),
+            bound_makespan = json_f64(b.makespan_bound_ms),
+            bound_efficiency = json_f64(b.bound_efficiency),
             workload = json_escape(&w.workload),
             strategy = json_escape(&w.strategy),
             points = w.bandwidth_points,
@@ -536,12 +603,15 @@ impl PerfReport {
     pub fn render_text(&self) -> String {
         let g = &self.schedule_generation;
         let e = &self.engine_execution;
+        let b = &self.static_bounds;
         let w = &self.workload_sweep;
         let a = &self.analytic_sweep;
         let s = &self.serving;
         format!(
             "schedule generation : {} schedules in {:.2} ms ({:.3} ms each)\n\
              engine execution    : {} tasks, traced {:.3} ms, stats-only {:.3} ms\n\
+             static bounds       : {} tasks analyzed in {:.3} ms, bound {:.3} ms \
+             ({:.1}% of achieved)\n\
              workload sweep      : {} x {} points x {} modes\n\
              \x20 optimized {:.2} ms vs baseline {:.2} ms -> {:.2}x speedup\n\
              analytic sweep      : {} x {} points x {} modes, {} segments\n\
@@ -554,6 +624,10 @@ impl PerfReport {
             e.tasks,
             e.traced_ms,
             e.stats_only_ms,
+            b.tasks,
+            b.analyze_ms,
+            b.makespan_bound_ms,
+            100.0 * b.bound_efficiency,
             w.workload,
             w.bandwidth_points,
             w.modes,
@@ -581,7 +655,7 @@ impl PerfReport {
 /// positive number. Returns a description of the first problem found.
 pub fn validate_json(json: &str) -> Result<(), String> {
     for key in [
-        "\"schema\": \"ciflow.perf_report.v3\"",
+        "\"schema\": \"ciflow.perf_report.v4\"",
         "\"threads\"",
         "\"iterations\"",
         "\"schedule_generation\"",
@@ -591,6 +665,10 @@ pub fn validate_json(json: &str) -> Result<(), String> {
         "\"tasks\"",
         "\"traced_ms\"",
         "\"stats_only_ms\"",
+        "\"static_bounds\"",
+        "\"analyze_ms\"",
+        "\"makespan_bound_ms\"",
+        "\"bound_efficiency\"",
         "\"workload_sweep\"",
         "\"workload\"",
         "\"strategy\"",
@@ -676,6 +754,20 @@ pub fn validate_json(json: &str) -> Result<(), String> {
             "analytic_speedup {analytic_speedup} is not positive"
         ));
     }
+    let bound_efficiency: f64 = json
+        .split("\"bound_efficiency\": ")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '\n']).next())
+        .ok_or("bound_efficiency field not found")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("bound_efficiency does not parse: {e}"))?;
+    if !(bound_efficiency > 0.0 && bound_efficiency <= 1.0) {
+        return Err(format!(
+            "bound_efficiency {bound_efficiency} is outside (0, 1] — the bound is \
+             sound, so it can never exceed the achieved runtime"
+        ));
+    }
     let simulated_rps: f64 = json
         .split("\"simulated_rps\": ")
         .nth(1)
@@ -703,6 +795,15 @@ mod tests {
         assert!(report.engine_execution.tasks > 0);
         assert!(report.engine_execution.traced_ms > 0.0);
         assert!(report.engine_execution.stats_only_ms > 0.0);
+        assert_eq!(report.static_bounds.tasks, report.engine_execution.tasks);
+        assert!(report.static_bounds.analyze_ms > 0.0);
+        assert!(report.static_bounds.makespan_bound_ms > 0.0);
+        assert!(
+            report.static_bounds.bound_efficiency > 0.0
+                && report.static_bounds.bound_efficiency <= 1.0,
+            "soundness: bound must not exceed the achieved runtime ({})",
+            report.static_bounds.bound_efficiency
+        );
         assert!(report.workload_sweep.optimized_ms > 0.0);
         assert!(report.workload_sweep.baseline_ms > 0.0);
         assert!(report.workload_sweep.speedup() > 0.0);

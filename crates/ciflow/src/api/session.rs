@@ -9,7 +9,10 @@ use crate::hks_shape::HksShape;
 use crate::schedule::{Schedule, ScheduleConfig};
 use crate::workload::{build_workload, PipelineMode, Workload};
 use rpu::analytic::ParametricTimeline;
-use rpu::{ChannelMap, EvkPolicy, ExecutionStats, ExecutionTrace, RpuConfig, RpuEngine, TraceMode};
+use rpu::{
+    BoundAnalysis, ChannelMap, EvkPolicy, ExecutionStats, ExecutionTrace, RpuConfig, RpuEngine,
+    TraceMode,
+};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
@@ -370,6 +373,23 @@ impl JobOutput {
         self.stats.total_bytes() as f64 / rpu::MIB as f64
     }
 
+    /// The static bound analysis of the schedule this job executed, on the
+    /// configuration it executed on — same engine, same channel placement.
+    /// See [`rpu::bound::analyze`].
+    pub fn bound_analysis(&self) -> BoundAnalysis {
+        let engine = RpuEngine::new(self.rpu.clone())
+            .with_channel_map(self.schedule.channel_map(self.rpu.memory_channel_count()));
+        engine.bounds(&self.schedule.graph)
+    }
+
+    /// Achieved-vs-bound efficiency: the provable makespan lower bound
+    /// divided by the achieved runtime. 1.0 means the run hit the static
+    /// bound exactly; lower values quantify contention the bound cannot
+    /// see (see `docs/BOUNDS.md`).
+    pub fn bound_efficiency(&self) -> f64 {
+        self.bound_analysis().efficiency(self.stats.runtime_seconds)
+    }
+
     /// The compact serializable summary used by the benchmark harnesses.
     pub fn summary(&self) -> crate::runner::HksRunSummary {
         crate::runner::HksRunSummary {
@@ -418,6 +438,28 @@ impl VerifyResult {
     /// findings (warnings and notes are allowed).
     pub fn is_ok(&self) -> bool {
         matches!(&self.outcome, Ok(report) if !report.has_errors())
+    }
+}
+
+/// One entry of a [`Session::bounds`] sweep: the job description plus its
+/// static bound analysis.
+#[derive(Debug)]
+pub struct BoundsResult {
+    /// Label identifying the job (caller-supplied or generated).
+    pub label: String,
+    /// The parameter point of the job.
+    pub benchmark: HksBenchmark,
+    /// The strategy name the job requested.
+    pub strategy: String,
+    /// The bound analysis, or the error that prevented building the
+    /// schedule.
+    pub outcome: Result<BoundAnalysis, CiflowError>,
+}
+
+impl BoundsResult {
+    /// True when the schedule was built and analyzed.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
     }
 }
 
@@ -811,6 +853,44 @@ impl Session {
                 benchmark: job.effective_benchmark(),
                 strategy: job.strategy_name(),
                 outcome: match catch_unwind(AssertUnwindSafe(|| self.verify_job(job))) {
+                    Ok(outcome) => outcome,
+                    Err(payload) => Err(CiflowError::StrategyPanicked {
+                        strategy: job.strategy_name(),
+                        message: panic_message(payload.as_ref()),
+                    }),
+                },
+            })
+            .collect()
+    }
+
+    /// Statically bounds one job: the provable makespan lower bound,
+    /// critical path, slack and roofline knee of exactly the plan and
+    /// placement [`Session::run_job`] would execute, *without running it*
+    /// (see [`rpu::bound::analyze`] and `docs/BOUNDS.md`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates strategy-resolution or schedule-construction failures.
+    pub fn bounds_job(&self, job: &Job) -> Result<BoundAnalysis, CiflowError> {
+        let plan = self.plan_for(job)?;
+        let rpu = job.rpu.as_ref().unwrap_or(&self.rpu);
+        let engine = RpuEngine::new(rpu.clone())
+            .with_channel_map(plan.channel_map(rpu.memory_channel_count()));
+        Ok(engine.bounds(&plan.schedule.graph))
+    }
+
+    /// Statically bounds every queued job (in submission order) without
+    /// executing any of them: the batch-shaped counterpart of
+    /// [`Session::run`], with a [`BoundAnalysis`] where the stats would be.
+    /// Panicking strategies fail their own entry, like in `run`.
+    pub fn bounds(&self) -> Vec<BoundsResult> {
+        self.jobs
+            .iter()
+            .map(|job| BoundsResult {
+                label: self.job_label(job),
+                benchmark: job.effective_benchmark(),
+                strategy: job.strategy_name(),
+                outcome: match catch_unwind(AssertUnwindSafe(|| self.bounds_job(job))) {
                     Ok(outcome) => outcome,
                     Err(payload) => Err(CiflowError::StrategyPanicked {
                         strategy: job.strategy_name(),

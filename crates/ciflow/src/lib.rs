@@ -134,14 +134,14 @@ pub mod sweep;
 pub mod workload;
 
 pub use api::{
-    AnalyticOutput, BatchOutcome, Job, JobOutput, JobResult, ScheduleStrategy, Session,
-    StrategyRegistry, VerifyResult,
+    AnalyticOutput, BatchOutcome, BoundsResult, Job, JobOutput, JobResult, ScheduleStrategy,
+    Session, StrategyRegistry, VerifyResult,
 };
 pub use benchmark::HksBenchmark;
 pub use dataflow::Dataflow;
 pub use error::CiflowError;
 pub use hks_shape::{HksShape, HksStage};
-pub use lint::{lint_schedule, lint_workload, LintReport};
+pub use lint::{lint_schedule, lint_with_config, lint_workload, LintConfig, LintReport};
 pub use runner::{HksRun, HksRunResult};
 pub use schedule::{build_schedule, Schedule, ScheduleConfig};
 pub use workload::{

@@ -15,7 +15,7 @@
 //! * **`B002` dead store** (Warning): a `spill`/`park` write never followed
 //!   by a reload of the same buffer — the value round-trips to DRAM for
 //!   nothing (a `release` would have freed the space without traffic).
-//! * **`B003` redundant load** (Warning): consecutive loads of one buffer
+//! * **`B003` redundant load** (Note): consecutive loads of one buffer
 //!   with no intervening write — each pair is a missed caching opportunity.
 //!   Streamed evk towers reloaded by every kernel of a fused pipeline land
 //!   here by design: this lint is the static signal for the ROADMAP's
@@ -130,7 +130,7 @@ pub fn lint(graph: &TaskGraph) -> Vec<Diagnostic> {
         }
         if let Some((first, second)) = witness {
             diagnostics.push(
-                Diagnostic::warning(
+                Diagnostic::note(
                     codes::REDUNDANT_LOAD,
                     format!(
                         "buffer `{buffer}` is reloaded {redundant} time(s) with no intervening \

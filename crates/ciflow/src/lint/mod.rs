@@ -9,7 +9,7 @@
 //! [`Diagnostic`]s a caller can gate on — the discipline ordering-sensitive
 //! memory systems apply to their consistency invariants.
 //!
-//! Five composable passes analyze a [`Schedule`] (its
+//! Six composable passes analyze a [`Schedule`] (its
 //! [`TaskGraph`](rpu::TaskGraph), the derived [`ChannelMap`] and the target
 //! [`RpuConfig`]):
 //!
@@ -30,13 +30,21 @@
 //! 5. **placement/accounting** ([mod@placement]) — unreachable or dead pin
 //!    rules, pathological channel imbalance, and spill-traffic
 //!    reconciliation (`P001`–`P003`, `A001`/`A002`).
+//! 6. **performance** ([mod@perf]) — static roofline analysis over
+//!    [`rpu::bound`]: queue-order-dominated critical paths, late
+//!    prefetches, structural utilization ceilings and bandwidth
+//!    overprovisioning above the knee (`R001`–`R004`, see `docs/BOUNDS.md`).
 //!
 //! Entry points: [`lint_schedule`] for a single-kernel schedule,
 //! [`lint_workload`] for a stitched pipeline (adds the boundary pass), and
 //! [`Session::verify`](crate::api::Session::verify) to lint a whole queued
-//! batch exactly as it would run. The `schedule_lint` binary (in
+//! batch exactly as it would run. Thresholds (capacity headroom, imbalance
+//! ratio, the `R`-code ratios) are tunable through [`LintConfig`] via
+//! [`lint_with_config`]; the plain entry points use [`LintConfig::default`],
+//! which preserves the historical behaviour. The `schedule_lint` binary (in
 //! `ciflow-bench`) sweeps the preset gallery and exits nonzero on any
-//! Error — CI runs it.
+//! Error (or, with `--deny-warnings`, any Warning) — CI runs it, archiving
+//! the machine-readable `--json` report ([`LintReport::to_json`]).
 //!
 //! Every code is catalogued with a minimal triggering example in
 //! `docs/LINTS.md`.
@@ -45,11 +53,13 @@ use crate::benchmark::HksBenchmark;
 use crate::schedule::Schedule;
 use crate::workload::WorkloadSchedule;
 use rpu::{ChannelMap, RpuConfig, RpuEngine};
+use serde::Serialize;
 
 pub use rpu::verify::{Diagnostic, Severity};
 
 pub mod buffer;
 pub mod capacity;
+pub mod perf;
 pub mod pipeline;
 pub mod placement;
 
@@ -86,11 +96,74 @@ pub mod codes {
     pub const SPILL_UNDERREPORTED: &str = "A001";
     /// Reported `spill_bytes` exceeds the labeled spill/park traffic.
     pub const SPILL_OVERREPORTED: &str = "A002";
+    /// The critical path is dominated by same-channel queue-order edges
+    /// rather than true dependencies — the placement serializes work the
+    /// dataflow does not require.
+    pub const QUEUE_ORDER_CRITICAL: &str = "R001";
+    /// A load is dependency-ready far ahead of its latest start yet its
+    /// in-order queue position issues it too late — a missed prefetch.
+    pub const LATE_PREFETCH: &str = "R002";
+    /// Structural utilization ceiling: the critical path provably idles
+    /// both the compute pipeline and the data path at *every* bandwidth.
+    pub const UTILIZATION_CEILING: &str = "R003";
+    /// The configured bandwidth sits above the static roofline knee — the
+    /// schedule is bandwidth-insensitive here.
+    pub const ABOVE_ROOFLINE_KNEE: &str = "R004";
+}
+
+/// Tunable thresholds for the lint passes. [`LintConfig::default`] matches
+/// the historical hard-coded behaviour, so [`lint_schedule`] /
+/// [`lint_workload`] / [`lint_with`] are unchanged; pass a custom
+/// configuration through [`lint_with_config`] to tighten or relax a gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintConfig {
+    /// Fraction of data memory above which `C002` notes thin headroom
+    /// (default 0.95).
+    pub near_capacity_fraction: f64,
+    /// `max channel bytes / fair share` above which `P003` warns
+    /// (default 4.0).
+    pub imbalance_ratio: f64,
+    /// Minimum memory tasks per channel before `P003` is meaningful
+    /// (default 4).
+    pub imbalance_min_tasks_per_channel: usize,
+    /// Queue-augmented bound over the largest placement-independent bound,
+    /// above which `R001` warns that queue-order edges dominate the critical
+    /// path (default 1.75: the intrinsic load/compute interleave of the
+    /// in-order queues costs the preset gallery up to ~1.5x on one channel,
+    /// while a genuine serialization pathology — e.g. a load/compute zigzag
+    /// that defeats all overlap — costs 2x or more).
+    pub queue_path_ratio: f64,
+    /// Fraction of the dependency bound a load's slack must reach — while
+    /// its queue position still makes it critical — before `R002` flags a
+    /// late prefetch (default 0.25).
+    pub prefetch_slack_fraction: f64,
+    /// Fraction of the graph's total DRAM traffic that must be serialized
+    /// with the full compute chain before `R003` reports a structural
+    /// utilization ceiling (default 0.5). Below it, the residue is a benign
+    /// head-of-pipeline prefetch, not a ceiling.
+    pub ceiling_residual_fraction: f64,
+    /// `configured bandwidth / knee bandwidth` at or above which `R004`
+    /// notes the schedule is bandwidth-insensitive (default 1.0).
+    pub knee_headroom_ratio: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        Self {
+            near_capacity_fraction: 0.95,
+            imbalance_ratio: 4.0,
+            imbalance_min_tasks_per_channel: 4,
+            queue_path_ratio: 1.75,
+            prefetch_slack_fraction: 0.25,
+            ceiling_residual_fraction: 0.5,
+            knee_headroom_ratio: 1.0,
+        }
+    }
 }
 
 /// The outcome of linting one schedule: every diagnostic from every pass, in
 /// pass order.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct LintReport {
     /// All findings, most severe passes first within each pass's order.
     pub diagnostics: Vec<Diagnostic>,
@@ -136,6 +209,77 @@ impl LintReport {
             self.notes().count(),
         )
     }
+
+    /// The most severe finding's severity, or `None` for a clean report.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// The distinct codes present, in first-occurrence order.
+    pub fn codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = Vec::new();
+        for d in &self.diagnostics {
+            if !codes.contains(&d.code) {
+                codes.push(d.code);
+            }
+        }
+        codes
+    }
+
+    /// Renders the report as a machine-readable JSON document
+    /// (`ciflow.lint_report.v1`): counts plus one object per diagnostic
+    /// with its code, severity, tasks, optional label and message. The
+    /// `schedule_lint` binary's `--json` mode archives these from CI.
+    pub fn to_json(&self) -> String {
+        let (errors, warnings, notes) = self.counts();
+        let mut out = String::with_capacity(128 + self.diagnostics.len() * 96);
+        out.push_str(&format!(
+            "{{\"schema\":\"ciflow.lint_report.v1\",\
+             \"counts\":{{\"errors\":{errors},\"warnings\":{warnings},\"notes\":{notes}}},\
+             \"diagnostics\":["
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let tasks = d
+                .tasks
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            let label = match &d.label {
+                Some(label) => format!("\"{}\"", json_escape(label)),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"tasks\":[{tasks}],\
+                 \"label\":{label},\"message\":\"{}\"}}",
+                json_escape(d.code),
+                d.severity,
+                json_escape(&d.message),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl std::fmt::Display for LintReport {
@@ -179,14 +323,33 @@ pub fn lint_with(
     rpu: &RpuConfig,
     channel_map: &ChannelMap,
 ) -> LintReport {
+    lint_with_config(
+        schedule,
+        kernel_benchmarks,
+        rpu,
+        channel_map,
+        &LintConfig::default(),
+    )
+}
+
+/// [`lint_with`] with explicit thresholds: every pass that gates on a ratio
+/// or fraction reads it from `config` instead of a built-in constant.
+pub fn lint_with_config(
+    schedule: &Schedule,
+    kernel_benchmarks: &[HksBenchmark],
+    rpu: &RpuConfig,
+    channel_map: &ChannelMap,
+    config: &LintConfig,
+) -> LintReport {
     let engine = RpuEngine::new(rpu.clone()).with_channel_map(channel_map.clone());
     let mut diagnostics = rpu::verify::lint_graph(&schedule.graph, &engine);
     diagnostics.extend(buffer::lint(&schedule.graph));
-    diagnostics.extend(capacity::lint(schedule, rpu));
-    diagnostics.extend(placement::lint(schedule, &engine));
+    diagnostics.extend(capacity::lint(schedule, rpu, config));
+    diagnostics.extend(placement::lint(schedule, &engine, config));
     if kernel_benchmarks.len() > 1 {
         diagnostics.extend(pipeline::lint(&schedule.graph, kernel_benchmarks));
     }
+    diagnostics.extend(perf::lint(&schedule.graph, &engine, config));
     LintReport { diagnostics }
 }
 
@@ -271,5 +434,55 @@ mod tests {
         assert!(text.contains("error[C001]") && text.contains("warning[B002]"));
         assert!(LintReport::default().is_clean());
         assert_eq!(LintReport::default().to_string(), "clean (no diagnostics)");
+    }
+
+    #[test]
+    fn max_severity_and_codes_summarize_the_report() {
+        assert_eq!(LintReport::default().max_severity(), None);
+        let report = LintReport {
+            diagnostics: vec![
+                Diagnostic::note(codes::NEAR_CAPACITY, "tight"),
+                Diagnostic::warning(codes::DEAD_STORE, "never reloaded"),
+                Diagnostic::warning(codes::DEAD_STORE, "again"),
+            ],
+        };
+        assert_eq!(report.max_severity(), Some(Severity::Warning));
+        // Distinct codes in first-occurrence order, duplicates folded.
+        assert_eq!(
+            report.codes(),
+            vec![codes::NEAR_CAPACITY, codes::DEAD_STORE]
+        );
+    }
+
+    #[test]
+    fn json_report_follows_the_schema_and_escapes_content() {
+        let report = LintReport {
+            diagnostics: vec![
+                Diagnostic::error(codes::CAPACITY_EXCEEDED, "peak \"quoted\"\nline")
+                    .with_tasks([3, 7])
+                    .with_label("load in[0]".into()),
+                Diagnostic::note(codes::NEAR_CAPACITY, "tight"),
+            ],
+        };
+        let json = report.to_json();
+        // Schema envelope and counts.
+        assert!(json.starts_with("{\"schema\":\"ciflow.lint_report.v1\""));
+        assert!(json.contains("\"counts\":{\"errors\":1,\"warnings\":0,\"notes\":1}"));
+        // Per-diagnostic fields, with escaping applied.
+        assert!(json.contains("\"code\":\"C001\""));
+        assert!(json.contains("\"severity\":\"error\""));
+        assert!(json.contains("\"tasks\":[3,7]"));
+        assert!(json.contains("\"label\":\"load in[0]\""));
+        assert!(json.contains("peak \\\"quoted\\\"\\nline"));
+        assert!(json.contains("\"label\":null"));
+        // Structural sanity: balanced braces/brackets and even quote count
+        // once escapes are stripped.
+        let stripped = json.replace("\\\"", "").replace("\\\\", "");
+        assert_eq!(stripped.matches('{').count(), stripped.matches('}').count());
+        assert_eq!(stripped.matches('[').count(), stripped.matches(']').count());
+        assert_eq!(stripped.matches('"').count() % 2, 0);
+        assert!(json.ends_with("]}"));
+        let empty = LintReport::default().to_json();
+        assert!(empty.contains("\"diagnostics\":[]"));
     }
 }

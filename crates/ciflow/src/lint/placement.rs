@@ -15,8 +15,9 @@
 //!   of this schedule's buffers — usually a typo in the pattern.
 //! * **`P003` channel imbalance** (Warning): the placement concentrates
 //!   traffic so heavily that one channel carries more than
-//!   `IMBALANCE_RATIO` (4)× its fair share, forfeiting the head-of-line
-//!   bypass benefit multiple channels exist to provide.
+//!   [`LintConfig::imbalance_ratio`] (default 4)× its fair share,
+//!   forfeiting the head-of-line bypass benefit multiple channels exist to
+//!   provide.
 //! * **`A001`/`A002` spill reconciliation**: the builder's
 //!   [`Schedule::spill_bytes`] vs the sum of `spill`/`park`-labeled store
 //!   traffic. Labeled traffic *exceeding* the report is an Error (`A001` —
@@ -28,15 +29,8 @@ use rpu::channel::{canonical_label, split_label};
 use rpu::verify::Diagnostic;
 use rpu::RpuEngine;
 
-use super::codes;
+use super::{codes, LintConfig};
 use crate::schedule::Schedule;
-
-/// `max channel bytes / fair share` above which `P003` fires.
-const IMBALANCE_RATIO: f64 = 4.0;
-
-/// Minimum memory tasks per channel before imbalance is meaningful — tiny
-/// schedules cannot spread a handful of buffers evenly.
-const IMBALANCE_MIN_TASKS_PER_CHANNEL: usize = 4;
 
 /// Indices of rules that can never match because an earlier rule's pattern is
 /// a substring of theirs. Pure so the lint is testable without constructing
@@ -55,8 +49,9 @@ fn shadowed_rules(patterns: &[&str]) -> Vec<(usize, usize)> {
 }
 
 /// Runs the placement/accounting pass for `schedule` under `engine`'s
-/// channel map and channel count.
-pub fn lint(schedule: &Schedule, engine: &RpuEngine) -> Vec<Diagnostic> {
+/// channel map and channel count. The imbalance thresholds come from
+/// [`LintConfig`].
+pub fn lint(schedule: &Schedule, engine: &RpuEngine, config: &LintConfig) -> Vec<Diagnostic> {
     let mut diagnostics = Vec::new();
     let map = engine.channel_map();
     let rules: Vec<(&str, &[usize])> = map.rules().collect();
@@ -120,7 +115,9 @@ pub fn lint(schedule: &Schedule, engine: &RpuEngine) -> Vec<Diagnostic> {
 
     // P003: one channel hoards the traffic.
     let total_bytes: u64 = channel_bytes.iter().sum();
-    if channels > 1 && memory_tasks >= IMBALANCE_MIN_TASKS_PER_CHANNEL * channels && total_bytes > 0
+    if channels > 1
+        && memory_tasks >= config.imbalance_min_tasks_per_channel * channels
+        && total_bytes > 0
     {
         let fair_share = total_bytes as f64 / channels as f64;
         let (worst, &max_bytes) = channel_bytes
@@ -128,7 +125,7 @@ pub fn lint(schedule: &Schedule, engine: &RpuEngine) -> Vec<Diagnostic> {
             .enumerate()
             .max_by_key(|&(_, b)| *b)
             .expect("channels > 1");
-        if max_bytes as f64 > IMBALANCE_RATIO * fair_share {
+        if max_bytes as f64 > config.imbalance_ratio * fair_share {
             diagnostics.push(Diagnostic::warning(
                 codes::CHANNEL_IMBALANCE,
                 format!(
@@ -206,7 +203,7 @@ mod tests {
             );
         }
         let engine = engine_with(ChannelMap::hashed(2).with_pin("zzz-typo", [0]));
-        let diagnostics = lint(&schedule(g, 0), &engine);
+        let diagnostics = lint(&schedule(g, 0), &engine, &LintConfig::default());
         assert_eq!(diagnostics.len(), 1, "{diagnostics:?}");
         assert_eq!(diagnostics[0].code, codes::DEAD_PIN_RULE);
         assert!(diagnostics[0].message.contains("zzz-typo"));
@@ -225,7 +222,7 @@ mod tests {
             );
         }
         let engine = engine_with(ChannelMap::hashed(8).with_pin("", [0]));
-        let diagnostics = lint(&schedule(g, 0), &engine);
+        let diagnostics = lint(&schedule(g, 0), &engine, &LintConfig::default());
         assert!(
             diagnostics
                 .iter()
@@ -247,7 +244,7 @@ mod tests {
             );
         }
         let engine = engine_with(ChannelMap::hashed(4));
-        assert!(lint(&schedule(g, 0), &engine).is_empty());
+        assert!(lint(&schedule(g, 0), &engine, &LintConfig::default()).is_empty());
     }
 
     #[test]
@@ -260,18 +257,18 @@ mod tests {
         let engine = engine_with(ChannelMap::hashed(1));
 
         // Exact accounting: clean.
-        assert!(lint(&schedule(g.clone(), 200), &engine).is_empty());
+        assert!(lint(&schedule(g.clone(), 200), &engine, &LintConfig::default()).is_empty());
 
         // Under-reporting is an error: the engine will move more spill bytes
         // than the schedule claims.
-        let under = lint(&schedule(g.clone(), 100), &engine);
+        let under = lint(&schedule(g.clone(), 100), &engine, &LintConfig::default());
         assert_eq!(under.len(), 1);
         assert_eq!(under[0].code, codes::SPILL_UNDERREPORTED);
         assert_eq!(under[0].severity, rpu::Severity::Error);
 
         // Over-reporting (e.g. a custom strategy with coarse labels) is only
         // a warning.
-        let over = lint(&schedule(g, 300), &engine);
+        let over = lint(&schedule(g, 300), &engine, &LintConfig::default());
         assert_eq!(over.len(), 1);
         assert_eq!(over[0].code, codes::SPILL_OVERREPORTED);
         assert_eq!(over[0].severity, rpu::Severity::Warning);

@@ -16,7 +16,7 @@ use crate::dataflow::Dataflow;
 use crate::error::CiflowError;
 use crate::serve::{DispatchPolicy, ServeConfig};
 use crate::workload::{PipelineMode, Workload};
-use rpu::{EvkPolicy, RpuConfig};
+use rpu::{EvkPolicy, RpuConfig, RpuEngine};
 use serde::Serialize;
 
 /// The off-chip bandwidths (GB/s) swept in Figure 4, spanning DDR4 through
@@ -268,6 +268,19 @@ pub struct AnalyticSweep {
     /// event order changes — the kinks of the piecewise-linear runtime
     /// curve.
     pub breakpoints_gbps: Vec<f64>,
+    /// The provable makespan lower bound (ms) at each ladder point, in
+    /// ladder order — the static roofline under the `runtime_ms` curve
+    /// ([`rpu::bound::analyze`], `docs/BOUNDS.md`). Soundness guarantees
+    /// `bound_ms[i] <= points[i].runtime_ms` at every point.
+    pub bound_ms: Vec<f64>,
+    /// The effective static roofline knee (GB/s) of the bound, when it has
+    /// one ([`rpu::RooflineKnee::effective_knee_gbps`]): above this
+    /// bandwidth the bound is pinned to the compute floor — exactly flat at
+    /// a true crossover, or tracking the floor plus a vanishing serialized
+    /// residue for always-bandwidth-sensitive schedules. `None` for
+    /// degenerate (no-compute or no-traffic) schedules. Always at or below
+    /// the bandwidth where the *engine's* runtime flattens.
+    pub knee_gbps: Option<f64>,
 }
 
 /// Runs a runtime-vs-bandwidth sweep of a [`Workload`] pipeline in closed
@@ -339,6 +352,24 @@ pub fn try_analytic_sweep_in(
             runtime_ms: stats.runtime_ms(),
         })
         .collect();
+    // The static bound curve under the runtime curve, on the same ladder.
+    // One full analysis derives the knee (it is bandwidth-independent — a
+    // property of the bound's affine pieces); the dense per-point values
+    // come from `bound_curve`, which shares one placement layout across the
+    // ladder so the curve stays cheap next to the closed-form evaluation it
+    // annotates.
+    let map = output
+        .schedule
+        .channel_map(output.rpu.memory_channel_count());
+    let engine = RpuEngine::new(sweep_rpu(evk_policy, lo, modops)).with_channel_map(map);
+    let knee_gbps = engine
+        .bounds(&output.schedule.graph)
+        .knee
+        .effective_knee_gbps();
+    let bound_ms: Vec<f64> = rpu::bound::bound_curve(&engine, &output.schedule.graph, bandwidths)
+        .iter()
+        .map(|&seconds| seconds * 1e3)
+        .collect();
     Ok(AnalyticSweep {
         series: SweepSeries {
             benchmark: workload.benchmark.name,
@@ -349,6 +380,8 @@ pub fn try_analytic_sweep_in(
         },
         segments: output.timeline.segments().len(),
         breakpoints_gbps: output.timeline.breakpoints_gbps(),
+        bound_ms,
+        knee_gbps,
     })
 }
 
@@ -1232,6 +1265,18 @@ mod tests {
             assert!(analytic.segments >= 1);
             for &bp in &analytic.breakpoints_gbps {
                 assert!(bp > 8.0 && bp < 128.0, "interior breakpoint {bp}");
+            }
+            // The static bound curve sits under the runtime curve at every
+            // ladder point (soundness), one bound per point.
+            assert_eq!(analytic.bound_ms.len(), analytic.series.points.len());
+            for (bound, point) in analytic.bound_ms.iter().zip(&analytic.series.points) {
+                assert!(
+                    *bound <= point.runtime_ms,
+                    "bound {bound} ms > runtime {} ms at {} GB/s ({mode:?})",
+                    point.runtime_ms,
+                    point.bandwidth_gbps
+                );
+                assert!(*bound > 0.0);
             }
         }
     }

@@ -1,0 +1,1132 @@
+//! Static performance bounds: provable makespan lower bounds, critical-path
+//! and slack extraction, and the closed-form roofline knee.
+//!
+//! Where [`crate::verify`] proves a schedule *can* execute (deadlock-freedom,
+//! structural consistency), this module proves how *fast* it could possibly
+//! execute — without running it. [`analyze`] computes, in O(V + E):
+//!
+//! * **Dependency-path bound** — forward/backward earliest-/latest-start
+//!   passes over the true dependency edges, using the engine's own duration
+//!   arithmetic ([`RpuEngine::task_duration`]). Yields per-task
+//!   [`earliest_start`](BoundAnalysis::earliest_start) /
+//!   [`latest_start`](BoundAnalysis::latest_start) /
+//!   [`slack`](BoundAnalysis::slack) and one zero-slack
+//!   [`critical_path`](BoundAnalysis::critical_path).
+//! * **Queue-order bound** — the same forward pass over the *augmented*
+//!   graph (dependency edges plus the engine's in-order compute-queue and
+//!   per-channel memory-queue successor edges, placed by
+//!   [`RpuEngine::channel_of`]). This is the graph the deadlock verifier
+//!   analyzes; here it tightens the bound and lets the
+//!   [`queue_critical_path`](BoundAnalysis::queue_critical_path) *blame*
+//!   each binding edge as a true dependency or a queue-order constraint.
+//! * **Resource occupancy bounds** — the data path serializes every DRAM
+//!   transfer at the aggregate rate, so total memory bytes / bandwidth is a
+//!   lower bound; likewise each channel's in-order queue and the compute
+//!   pipeline.
+//! * The **makespan bound** is the max of all of the above, and is *sound*:
+//!   the engine's runtime can never beat it (property-tested in
+//!   `tests/bound_oracle.rs` across presets, random graphs, channel counts
+//!   and bandwidths, with bit-exact equality on contention-free chains).
+//!
+//! # Floating-point soundness
+//!
+//! Soundness holds in *machine* arithmetic, not just in exact real
+//! arithmetic. The engine's event loop only ever applies two operations to
+//! timestamps: `f64::max` (exact) and `+ duration` (monotone under
+//! rounding). The path passes replay a subset of the engine's constraints
+//! with the same two operations on the same per-task durations, so by
+//! induction every earliest finish is `<=` the engine's finish time *as
+//! computed in f64*. The occupancy folds run over program order while the
+//! engine chains grants in grant order; summation order can differ by a few
+//! ulps, so the memory occupancies are shaved by `(tasks + 3)` epsilons
+//! (`occupancy_floor`) to stay provably below any engine ordering. The
+//! compute queue issues in program order, so its fold needs no shave.
+//!
+//! # The roofline knee
+//!
+//! Every duration is affine in inverse bandwidth (`docs/ANALYTIC.md`), so
+//! every bound component is too, and the makespan bound is a max of affine
+//! pieces — piecewise affine and convex in `1/bandwidth`. [`analyze`]
+//! derives the **knee** in closed form: the crossover bandwidth above which
+//! the bound sits exactly on the flat compute floor (the schedule flips from
+//! memory-bound to compute-bound). Schedules whose augmented critical path
+//! carries *all* the compute plus memory never flatten exactly
+//! ([`RooflineKnee::AlwaysBandwidthSensitive`]); the variant records the
+//! residual serialized traffic and the bandwidth where that regime begins.
+//! The knee is derived twice: [`knee`](BoundAnalysis::knee) over the full
+//! placement-aware bound, and
+//! [`dependency_knee`](BoundAnalysis::dependency_knee) over the
+//! placement-independent bound (no queue edges) — their disagreement
+//! separates a ceiling this placement imposes (fixable by re-pinning or
+//! more channels) from one the schedule's structure imposes (the
+//! utilization ceiling `ciflow`'s `R003` lint reports).
+//!
+//! Model details and the soundness argument live in `docs/BOUNDS.md`.
+
+use crate::engine::RpuEngine;
+use crate::task::{Task, TaskGraph, TaskId};
+
+/// How many closed-form piece refinements the knee iteration may take. The
+/// active piece's slope strictly decreases every step and there are finitely
+/// many pieces, so this is a backstop, never a limit hit in practice.
+const MAX_KNEE_STEPS: usize = 64;
+
+/// The crossover bandwidth where the static makespan bound flips from
+/// memory-bound to compute-bound, derived in closed form from the bound's
+/// piecewise-affine representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RooflineKnee {
+    /// The graph moves no DRAM bytes: the bound is flat at every bandwidth.
+    ComputeBoundEverywhere,
+    /// The graph performs no compute: the bound decreases with bandwidth
+    /// forever and never meets a compute floor.
+    MemoryBoundEverywhere,
+    /// The augmented critical path carries every compute task *plus* memory
+    /// transfers, so the bound stays strictly above the compute floor at
+    /// every finite bandwidth. How much above is what distinguishes a
+    /// serial chain (a structural utilization ceiling) from a well-decoupled
+    /// pipeline (a vanishing prefetch residue): the payload records both.
+    AlwaysBandwidthSensitive {
+        /// The bandwidth (GB/s) above which the binding affine piece is the
+        /// all-compute path: beyond it the bound is exactly
+        /// `compute floor + residual_gb / bandwidth`.
+        dominated_above_gbps: f64,
+        /// That piece's DRAM traffic in GB — the transfers serialized with
+        /// the full compute chain that no bandwidth can hide.
+        residual_gb: f64,
+    },
+    /// Above this bandwidth the bound equals the compute floor exactly;
+    /// below it, memory holds the bound above the floor.
+    Crossover {
+        /// The knee bandwidth in GB/s.
+        bandwidth_gbps: f64,
+    },
+}
+
+impl RooflineKnee {
+    /// The crossover bandwidth in GB/s, if the bound has one.
+    pub fn crossover_gbps(&self) -> Option<f64> {
+        match self {
+            RooflineKnee::Crossover { bandwidth_gbps } => Some(*bandwidth_gbps),
+            _ => None,
+        }
+    }
+
+    /// The bandwidth (GB/s) above which the bound is pinned to the compute
+    /// floor: the exact crossover when there is one, or the bandwidth where
+    /// the all-compute piece takes over (the bound then tracks the floor
+    /// plus a vanishing `residual_gb / bandwidth`). `None` when the bound
+    /// has no compute floor to meet.
+    pub fn effective_knee_gbps(&self) -> Option<f64> {
+        match self {
+            RooflineKnee::Crossover { bandwidth_gbps } => Some(*bandwidth_gbps),
+            RooflineKnee::AlwaysBandwidthSensitive {
+                dominated_above_gbps,
+                ..
+            } => Some(*dominated_above_gbps),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RooflineKnee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RooflineKnee::ComputeBoundEverywhere => write!(f, "compute-bound at every bandwidth"),
+            RooflineKnee::MemoryBoundEverywhere => write!(f, "memory-bound at every bandwidth"),
+            RooflineKnee::AlwaysBandwidthSensitive {
+                dominated_above_gbps,
+                residual_gb,
+            } => write!(
+                f,
+                "bandwidth-sensitive at every bandwidth (no knee; above \
+                 {dominated_above_gbps:.3} GB/s the bound tracks the compute floor \
+                 plus {residual_gb:.3} GB of serialized traffic)"
+            ),
+            RooflineKnee::Crossover { bandwidth_gbps } => {
+                write!(f, "knee at {bandwidth_gbps:.3} GB/s")
+            }
+        }
+    }
+}
+
+/// Which constraint delivered a task's earliest start in a forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CriticalEdge {
+    /// Nothing held the task back; it starts at time zero.
+    Source,
+    /// A true dependency edge: the task waited for this producer.
+    Dependency(TaskId),
+    /// An in-order queue edge: the task waited for its queue predecessor,
+    /// not for any data it needs.
+    QueueOrder {
+        /// The queue predecessor the task waited behind.
+        predecessor: TaskId,
+        /// The memory channel of the shared queue, or `None` for the
+        /// compute queue.
+        channel: Option<usize>,
+    },
+}
+
+/// One step of the queue-augmented critical path: a task plus the edge that
+/// made it start when it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CriticalStep {
+    /// The task on the path.
+    pub task: TaskId,
+    /// The constraint that delivered its earliest start.
+    pub edge: CriticalEdge,
+}
+
+/// Which bound component is the largest — the resource (or structure) to
+/// blame for the makespan bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingResource {
+    /// The compute pipeline's total occupancy.
+    ComputePipeline,
+    /// The shared DRAM data path's total occupancy.
+    DataPath,
+    /// One channel's in-order queue occupancy.
+    MemoryChannel(usize),
+    /// The longest true-dependency path.
+    DependencyPath,
+    /// The queue-augmented path — in-order queue edges tighten the bound
+    /// strictly beyond the true dependencies.
+    QueueOrder,
+}
+
+impl std::fmt::Display for BindingResource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BindingResource::ComputePipeline => write!(f, "compute pipeline"),
+            BindingResource::DataPath => write!(f, "data path"),
+            BindingResource::MemoryChannel(c) => write!(f, "memory channel {c}"),
+            BindingResource::DependencyPath => write!(f, "dependency path"),
+            BindingResource::QueueOrder => write!(f, "queue order"),
+        }
+    }
+}
+
+/// The complete static analysis of one graph on one configuration: per-task
+/// schedule windows, critical paths, resource occupancies, the sound
+/// makespan bound and the roofline knee. Produced by [`analyze`] /
+/// [`RpuEngine::bounds`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundAnalysis {
+    /// The aggregate bandwidth (GB/s) the time-valued fields are computed
+    /// at — the engine configuration's bandwidth.
+    pub bandwidth_gbps: f64,
+    /// Per task: the earliest time its true dependencies allow it to start.
+    pub earliest_start: Vec<f64>,
+    /// Per task: earliest start plus its duration.
+    pub earliest_finish: Vec<f64>,
+    /// Per task: the earliest start under the augmented graph — true
+    /// dependencies *plus* in-order queue edges. Always `>=`
+    /// [`earliest_start`](Self::earliest_start); the gap is start delay the
+    /// queue position alone imposes.
+    pub queue_earliest_start: Vec<f64>,
+    /// Per task: the latest start that still finishes the graph by the
+    /// dependency bound (backward pass over true dependencies).
+    pub latest_start: Vec<f64>,
+    /// Per task: `latest_start - earliest_start`. Zero (up to rounding) on
+    /// the critical path.
+    pub slack: Vec<f64>,
+    /// One longest true-dependency path, in program order.
+    pub critical_path: Vec<TaskId>,
+    /// One longest path through the augmented (dependency + in-order queue)
+    /// graph, each step blamed on the edge that delivered its start.
+    pub queue_critical_path: Vec<CriticalStep>,
+    /// Longest true-dependency path length in seconds.
+    pub dependency_bound_seconds: f64,
+    /// Longest augmented-graph path length in seconds; always `>=` the
+    /// dependency bound.
+    pub queue_bound_seconds: f64,
+    /// Total compute duration in seconds (bandwidth-independent).
+    pub compute_occupancy_seconds: f64,
+    /// Total data-path occupancy in seconds: every byte of DRAM traffic
+    /// crosses the one shared data path at the aggregate rate.
+    pub memory_occupancy_seconds: f64,
+    /// Per-channel in-order queue occupancy in seconds, placed by
+    /// [`RpuEngine::channel_of`]. Each entry is `<=` the aggregate
+    /// data-path occupancy (channels time-share one path).
+    pub channel_occupancy_seconds: Vec<f64>,
+    /// The sound makespan lower bound: the max of every component above.
+    pub makespan_bound_seconds: f64,
+    /// The component delivering the makespan bound.
+    pub binding: BindingResource,
+    /// The closed-form roofline knee of the bound.
+    pub knee: RooflineKnee,
+    /// The knee of the *placement-independent* bound — the max of the
+    /// compute floor, the shared data path, and the true-dependency path,
+    /// with no queue-order edges. Where [`knee`](Self::knee) reflects this
+    /// placement (channel maps and program order), this field reflects only
+    /// the schedule's structure: a schedule whose dependency knee is
+    /// [`RooflineKnee::AlwaysBandwidthSensitive`] serializes traffic with
+    /// its full compute chain *by construction*, and no placement or
+    /// bandwidth can lift it to the compute floor.
+    pub dependency_knee: RooflineKnee,
+}
+
+impl BoundAnalysis {
+    /// The makespan bound in milliseconds.
+    pub fn makespan_bound_ms(&self) -> f64 {
+        self.makespan_bound_seconds * 1e3
+    }
+
+    /// The dependency-path bound in milliseconds.
+    pub fn dependency_bound_ms(&self) -> f64 {
+        self.dependency_bound_seconds * 1e3
+    }
+
+    /// Achieved-vs-bound efficiency: `bound / actual` for an actual runtime
+    /// in seconds. 1.0 means the run hit the provable bound exactly; lower
+    /// values quantify contention the static model cannot see. Returns 1.0
+    /// for an empty (zero-time) run.
+    pub fn efficiency(&self, actual_runtime_seconds: f64) -> f64 {
+        if actual_runtime_seconds > 0.0 {
+            self.makespan_bound_seconds / actual_runtime_seconds
+        } else {
+            1.0
+        }
+    }
+
+    /// The fraction of the queue-augmented critical path's edges that are
+    /// queue-order constraints rather than true dependencies. 0.0 for an
+    /// empty path.
+    pub fn queue_edge_fraction(&self) -> f64 {
+        let edges = self
+            .queue_critical_path
+            .iter()
+            .filter(|s| !matches!(s.edge, CriticalEdge::Source))
+            .count();
+        if edges == 0 {
+            return 0.0;
+        }
+        let queue_edges = self
+            .queue_critical_path
+            .iter()
+            .filter(|s| matches!(s.edge, CriticalEdge::QueueOrder { .. }))
+            .count();
+        queue_edges as f64 / edges as f64
+    }
+}
+
+/// One forward pass: per-task earliest start/finish, the binding edge per
+/// task, and the argmax sink.
+struct ForwardPass {
+    start: Vec<f64>,
+    finish: Vec<f64>,
+    binding: Vec<CriticalEdge>,
+    bound: f64,
+    sink: Option<TaskId>,
+}
+
+/// A task's in-order queue predecessor and its channel (`None` = compute
+/// queue), or `None` for queue heads.
+type QueuePred = Option<(TaskId, Option<usize>)>;
+
+/// The in-order queue predecessor of each task (compute queue or the task's
+/// memory channel queue), or `None` for queue heads.
+fn queue_predecessors(
+    n: usize,
+    compute_queue: &[TaskId],
+    memory_queues: &[Vec<TaskId>],
+) -> Vec<QueuePred> {
+    let mut pred: Vec<QueuePred> = vec![None; n];
+    for w in compute_queue.windows(2) {
+        pred[w[1]] = Some((w[0], None));
+    }
+    for (channel, queue) in memory_queues.iter().enumerate() {
+        for w in queue.windows(2) {
+            pred[w[1]] = Some((w[0], Some(channel)));
+        }
+    }
+    pred
+}
+
+/// Longest-path forward pass using the engine's duration arithmetic. When
+/// `queue_pred` is provided the pass also honors in-order queue successor
+/// edges (the augmented graph of the deadlock verifier). The recurrences use
+/// exactly the engine's operations — a max fold over predecessor finishes
+/// followed by one addition — so a contention-free serial chain reproduces
+/// the engine's timestamps bit for bit, and in general every finish is a
+/// machine-arithmetic lower bound on the engine's.
+fn forward(engine: &RpuEngine, graph: &TaskGraph, queue_pred: Option<&[QueuePred]>) -> ForwardPass {
+    let tasks = graph.tasks();
+    let n = tasks.len();
+    let mut start = vec![0.0f64; n];
+    let mut finish = vec![0.0f64; n];
+    let mut binding = vec![CriticalEdge::Source; n];
+    let mut bound = 0.0f64;
+    let mut sink = None;
+    for task in tasks {
+        let mut es = 0.0f64;
+        let mut edge = CriticalEdge::Source;
+        for &dep in &task.dependencies {
+            if finish[dep] > es {
+                es = finish[dep];
+                edge = CriticalEdge::Dependency(dep);
+            }
+        }
+        if let Some(pred) = queue_pred {
+            if let Some((p, channel)) = pred[task.id] {
+                if finish[p] > es {
+                    es = finish[p];
+                    edge = CriticalEdge::QueueOrder {
+                        predecessor: p,
+                        channel,
+                    };
+                }
+            }
+        }
+        start[task.id] = es;
+        finish[task.id] = es + engine.task_duration(task);
+        binding[task.id] = edge;
+        if finish[task.id] > bound {
+            bound = finish[task.id];
+            sink = Some(task.id);
+        }
+    }
+    ForwardPass {
+        start,
+        finish,
+        binding,
+        bound,
+        sink,
+    }
+}
+
+/// Walks a forward pass's binding edges back from its sink and returns the
+/// path in program order.
+fn walk_critical(pass: &ForwardPass) -> Vec<CriticalStep> {
+    let mut path = Vec::new();
+    let mut cursor = pass.sink;
+    while let Some(task) = cursor {
+        let edge = pass.binding[task];
+        path.push(CriticalStep { task, edge });
+        cursor = match edge {
+            CriticalEdge::Source => None,
+            CriticalEdge::Dependency(p) | CriticalEdge::QueueOrder { predecessor: p, .. } => {
+                Some(p)
+            }
+        };
+    }
+    path.reverse();
+    path
+}
+
+/// Shaves an occupancy fold down by `(terms + 3)` epsilons so it is provably
+/// `<=` the same sum folded in *any* order in machine arithmetic: the engine
+/// chains memory grants in grant order, which can differ from program order
+/// by a rounding ulp per term. The shave is ~1e-13 relative — far below
+/// anything a report prints — and the path bounds (which need no shave)
+/// recover bit-exactness wherever they dominate.
+fn occupancy_floor(sum: f64, terms: usize) -> f64 {
+    sum * (1.0 - (terms as f64 + 3.0) * f64::EPSILON)
+}
+
+/// The affine piece `(constant_seconds, per_inverse_gbps)` of the augmented
+/// path bound active at `bandwidth_gbps`: a forward pass over precomputed
+/// duration decompositions, carrying the affine coefficients of whichever
+/// predecessor wins each max.
+fn path_piece_at(
+    tasks: &[Task],
+    durations: &[(f64, f64)],
+    queue_pred: &[QueuePred],
+    bandwidth_gbps: f64,
+) -> (f64, f64) {
+    let inv = 1.0 / bandwidth_gbps;
+    let n = tasks.len();
+    let mut value = vec![0.0f64; n];
+    let mut constant = vec![0.0f64; n];
+    let mut slope = vec![0.0f64; n];
+    let mut best = (0.0f64, 0.0f64, 0.0f64);
+    for task in tasks {
+        let mut es = (0.0f64, 0.0f64, 0.0f64);
+        for &dep in &task.dependencies {
+            if value[dep] > es.0 {
+                es = (value[dep], constant[dep], slope[dep]);
+            }
+        }
+        if let Some((p, _)) = queue_pred[task.id] {
+            if value[p] > es.0 {
+                es = (value[p], constant[p], slope[p]);
+            }
+        }
+        let (dc, dm) = durations[task.id];
+        value[task.id] = es.0 + (dc + dm * inv);
+        constant[task.id] = es.1 + dc;
+        slope[task.id] = es.2 + dm;
+        if value[task.id] > best.0 {
+            best = (value[task.id], constant[task.id], slope[task.id]);
+        }
+    }
+    (best.1, best.2)
+}
+
+/// Derives the roofline knee in closed form. Starting from the aggregate
+/// data-path crossover `M / C`, the iteration probes which affine piece of
+/// the (convex) bound is active just above the current candidate and moves
+/// to that piece's crossover with the compute floor; slopes strictly
+/// decrease, so it terminates at the true knee.
+fn derive_knee(
+    graph: &TaskGraph,
+    durations: &[(f64, f64)],
+    queue_pred: &[QueuePred],
+    compute_floor: f64,
+) -> RooflineKnee {
+    let (loaded, stored) = graph.total_bytes();
+    if loaded + stored == 0 {
+        return RooflineKnee::ComputeBoundEverywhere;
+    }
+    if compute_floor <= 0.0 {
+        return RooflineKnee::MemoryBoundEverywhere;
+    }
+    let m_total = (loaded + stored) as f64 / 1e9;
+    let mut knee = m_total / compute_floor;
+    for _ in 0..MAX_KNEE_STEPS {
+        // Probe just above the candidate so the piece that is active *above*
+        // the crossover wins any tie at the crossover itself.
+        let probe = knee * (1.0 + 1e-9);
+        let (c, m) = path_piece_at(graph.tasks(), durations, queue_pred, probe);
+        if m <= 0.0 {
+            break;
+        }
+        if c >= compute_floor {
+            // The max-constant piece stays the argmax of the (convex) bound
+            // for every larger bandwidth, so this is exact, not a probe
+            // artifact: above `knee` the bound is `compute_floor + m/bw`.
+            return RooflineKnee::AlwaysBandwidthSensitive {
+                dominated_above_gbps: knee,
+                residual_gb: m,
+            };
+        }
+        let candidate = m / (compute_floor - c);
+        if candidate > knee * (1.0 + 1e-12) {
+            knee = candidate;
+        } else {
+            break;
+        }
+    }
+    RooflineKnee::Crossover {
+        bandwidth_gbps: knee,
+    }
+}
+
+/// Every per-bandwidth component of the makespan bound: both forward
+/// passes and the resource occupancy folds. Shared by [`analyze`] and
+/// [`bound_curve`] so a sweep point and a full analysis are bit-identical
+/// by construction.
+struct Components {
+    dep: ForwardPass,
+    aug: ForwardPass,
+    compute_occupancy: f64,
+    memory_occupancy: f64,
+    channel_occupancy: Vec<f64>,
+}
+
+/// Computes the bound components at `engine`'s bandwidth. `channel_index`
+/// is each memory task's channel (precomputed from the engine layout —
+/// placement does not depend on bandwidth, so sweeps hash labels once).
+fn components(
+    engine: &RpuEngine,
+    graph: &TaskGraph,
+    queue_pred: &[QueuePred],
+    channel_index: &[usize],
+) -> Components {
+    let dep = forward(engine, graph, None);
+    let aug = forward(engine, graph, Some(queue_pred));
+
+    // Resource occupancies, folded with the engine's per-task durations.
+    // The compute fold mirrors the engine's in-order issue exactly; the
+    // memory folds are shaved to stay sound under any grant order.
+    let channels = engine.config().memory_channel_count();
+    let mut compute_occupancy = 0.0f64;
+    let mut memory_fold = 0.0f64;
+    let mut memory_tasks = 0usize;
+    let mut channel_fold = vec![0.0f64; channels];
+    let mut channel_tasks = vec![0usize; channels];
+    for task in graph.tasks() {
+        let d = engine.task_duration(task);
+        if task.is_compute() {
+            compute_occupancy += d;
+        } else {
+            memory_fold += d;
+            memory_tasks += 1;
+            let c = channel_index[task.id];
+            channel_fold[c] += d;
+            channel_tasks[c] += 1;
+        }
+    }
+    let memory_occupancy = occupancy_floor(memory_fold, memory_tasks);
+    let channel_occupancy = channel_fold
+        .iter()
+        .zip(&channel_tasks)
+        .map(|(&sum, &count)| occupancy_floor(sum, count))
+        .collect();
+    Components {
+        dep,
+        aug,
+        compute_occupancy,
+        memory_occupancy,
+        channel_occupancy,
+    }
+}
+
+/// The sound makespan bound and its binding component. Strict `>` in this
+/// order means a tie blames the simpler component (a serial chain reads
+/// "dependency path", not "queue order").
+fn makespan_of(parts: &Components) -> (f64, BindingResource) {
+    let mut makespan = parts.compute_occupancy;
+    let mut binding = BindingResource::ComputePipeline;
+    if parts.memory_occupancy > makespan {
+        makespan = parts.memory_occupancy;
+        binding = BindingResource::DataPath;
+    }
+    for (c, &occ) in parts.channel_occupancy.iter().enumerate() {
+        if occ > makespan {
+            makespan = occ;
+            binding = BindingResource::MemoryChannel(c);
+        }
+    }
+    if parts.dep.bound > makespan {
+        makespan = parts.dep.bound;
+        binding = BindingResource::DependencyPath;
+    }
+    if parts.aug.bound > makespan {
+        makespan = parts.aug.bound;
+        binding = BindingResource::QueueOrder;
+    }
+    (makespan, binding)
+}
+
+/// Each memory task's channel, read back off the engine layout's queues so
+/// the label hashing behind [`RpuEngine::channel_of`] runs once per layout.
+fn channel_index_of(n: usize, memory_queues: &[Vec<TaskId>]) -> Vec<usize> {
+    let mut index = vec![0usize; n];
+    for (c, queue) in memory_queues.iter().enumerate() {
+        for &task in queue {
+            index[task] = c;
+        }
+    }
+    index
+}
+
+/// Evaluates just the makespan bound at each bandwidth of
+/// `bandwidths_gbps`, under `engine`'s channel count and placement.
+/// Bit-identical to running [`analyze`] at every point and reading
+/// [`BoundAnalysis::makespan_bound_seconds`], but built for dense ladders
+/// (`AnalyticSweep::bound_ms` sweeps 1000 points): the placement layout and
+/// all bandwidth-independent inputs (compute durations and their fold,
+/// memory sizes, channel placement) are computed once, and each point is a
+/// single fused forward-pass-plus-occupancy-fold sweep with the engine's
+/// duration arithmetic inlined (`bytes / (bw * 1e9)` is exactly
+/// [`RpuEngine::task_duration`] at that point's configuration).
+///
+/// The dependency-only pass is skipped: the augmented pass replays a
+/// superset of its constraints with the same exact-`max`/monotone-`+`
+/// operations, so its finish times dominate pointwise — in machine
+/// arithmetic, not just over the reals — and the dependency bound can
+/// never be the strict maximum.
+pub fn bound_curve(engine: &RpuEngine, graph: &TaskGraph, bandwidths_gbps: &[f64]) -> Vec<f64> {
+    let tasks = graph.tasks();
+    let n = tasks.len();
+    let layout = engine.layout(graph);
+    let queue_pred = queue_predecessors(n, &layout.compute_queue, &layout.memory_queues);
+    let channel_index = channel_index_of(n, &layout.memory_queues);
+    let channels = engine.config().memory_channel_count();
+    let compute_duration: Vec<f64> = tasks
+        .iter()
+        .map(|t| {
+            if t.is_compute() {
+                engine.task_duration(t)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut compute_occupancy = 0.0f64;
+    for task in tasks {
+        if task.is_compute() {
+            compute_occupancy += compute_duration[task.id];
+        }
+    }
+
+    let mut memory_tasks = 0usize;
+    let mut channel_count = vec![0usize; channels];
+    for task in tasks {
+        if task.is_memory() {
+            memory_tasks += 1;
+            channel_count[channel_index[task.id]] += 1;
+        }
+    }
+
+    // Lanes of eight, like the analytic evaluator: one pass over the graph
+    // serves eight ladder points, amortizing the dependency walk.
+    const LANES: usize = 8;
+    let mut finish = vec![[0.0f64; LANES]; n];
+    let mut channel_fold = vec![[0.0f64; LANES]; channels];
+    let mut out = Vec::with_capacity(bandwidths_gbps.len());
+    for chunk in bandwidths_gbps.chunks(LANES) {
+        // Idle lanes divide by 1 and are discarded below.
+        let mut bytes_per_second = [1.0f64; LANES];
+        for (lane, &bw) in chunk.iter().enumerate() {
+            bytes_per_second[lane] = bw * 1e9;
+        }
+        let mut path_bound = [0.0f64; LANES];
+        let mut memory_fold = [0.0f64; LANES];
+        for fold in &mut channel_fold {
+            fold.fill(0.0);
+        }
+        for task in tasks {
+            let mut d = [0.0f64; LANES];
+            if task.is_compute() {
+                d.fill(compute_duration[task.id]);
+            } else {
+                let bytes = task.bytes() as f64;
+                let fold = &mut channel_fold[channel_index[task.id]];
+                for lane in 0..LANES {
+                    d[lane] = bytes / bytes_per_second[lane];
+                    memory_fold[lane] += d[lane];
+                    fold[lane] += d[lane];
+                }
+            }
+            let mut es = [0.0f64; LANES];
+            for &dep in &task.dependencies {
+                let f = &finish[dep];
+                for lane in 0..LANES {
+                    if f[lane] > es[lane] {
+                        es[lane] = f[lane];
+                    }
+                }
+            }
+            if let Some((p, _)) = queue_pred[task.id] {
+                let f = &finish[p];
+                for lane in 0..LANES {
+                    if f[lane] > es[lane] {
+                        es[lane] = f[lane];
+                    }
+                }
+            }
+            let mut f = [0.0f64; LANES];
+            for lane in 0..LANES {
+                f[lane] = es[lane] + d[lane];
+                if f[lane] > path_bound[lane] {
+                    path_bound[lane] = f[lane];
+                }
+            }
+            finish[task.id] = f;
+        }
+        for lane in 0..chunk.len() {
+            let mut makespan = compute_occupancy;
+            let memory_occupancy = occupancy_floor(memory_fold[lane], memory_tasks);
+            if memory_occupancy > makespan {
+                makespan = memory_occupancy;
+            }
+            for (fold, &count) in channel_fold.iter().zip(&channel_count) {
+                let occ = occupancy_floor(fold[lane], count);
+                if occ > makespan {
+                    makespan = occ;
+                }
+            }
+            if path_bound[lane] > makespan {
+                makespan = path_bound[lane];
+            }
+            out.push(makespan);
+        }
+    }
+    out
+}
+
+/// Statically analyzes `graph` on `engine`'s configuration: schedule
+/// windows, critical paths, occupancies, the sound makespan bound and the
+/// roofline knee. Runs in O(V + E); never executes the graph.
+///
+/// The analysis is meaningful for graphs [`TaskGraph::from_tasks`] accepts
+/// (backward dependencies only). Graphs with forward or dangling edges
+/// should be screened with [`crate::verify::lint_structural`] first, as the
+/// engine itself requires.
+pub fn analyze(engine: &RpuEngine, graph: &TaskGraph) -> BoundAnalysis {
+    let tasks = graph.tasks();
+    let n = tasks.len();
+    let layout = engine.layout(graph);
+    let queue_pred = queue_predecessors(n, &layout.compute_queue, &layout.memory_queues);
+    let channel_index = channel_index_of(n, &layout.memory_queues);
+
+    // Forward passes, occupancies, and the bound they deliver.
+    let parts = components(engine, graph, &queue_pred, &channel_index);
+    let (makespan, binding) = makespan_of(&parts);
+    let Components {
+        dep,
+        aug,
+        compute_occupancy,
+        memory_occupancy,
+        channel_occupancy,
+    } = parts;
+
+    // Backward pass over true dependencies from the dependency bound, via
+    // the dependents CSR the engine layout already built.
+    let mut latest_start = vec![0.0f64; n];
+    for task in tasks.iter().rev() {
+        let mut lf = dep.bound;
+        for &child in &layout.dependents[layout.offsets[task.id]..layout.offsets[task.id + 1]] {
+            if latest_start[child] < lf {
+                lf = latest_start[child];
+            }
+        }
+        latest_start[task.id] = lf - engine.task_duration(task);
+    }
+    let slack: Vec<f64> = latest_start
+        .iter()
+        .zip(&dep.start)
+        .map(|(ls, es)| ls - es)
+        .collect();
+
+    // Closed-form knee from the bound's affine pieces.
+    let durations: Vec<(f64, f64)> = tasks
+        .iter()
+        .map(|t| {
+            if t.is_compute() {
+                (engine.task_duration(t), 0.0)
+            } else {
+                (0.0, t.bytes() as f64 / 1e9)
+            }
+        })
+        .collect();
+    let knee = derive_knee(graph, &durations, &queue_pred, compute_occupancy);
+    let no_queue: Vec<QueuePred> = vec![None; n];
+    let dependency_knee = derive_knee(graph, &durations, &no_queue, compute_occupancy);
+
+    BoundAnalysis {
+        bandwidth_gbps: engine.config().dram_bandwidth_gbps,
+        critical_path: walk_critical(&dep).iter().map(|s| s.task).collect(),
+        queue_critical_path: walk_critical(&aug),
+        queue_earliest_start: aug.start,
+        earliest_start: dep.start,
+        earliest_finish: dep.finish,
+        latest_start,
+        slack,
+        dependency_bound_seconds: dep.bound,
+        queue_bound_seconds: aug.bound,
+        compute_occupancy_seconds: compute_occupancy,
+        memory_occupancy_seconds: memory_occupancy,
+        channel_occupancy_seconds: channel_occupancy,
+        makespan_bound_seconds: makespan,
+        binding,
+        knee,
+        dependency_knee,
+    }
+}
+
+impl RpuEngine {
+    /// Statically analyzes a graph under this engine's configuration and
+    /// placement — see [`analyze`].
+    pub fn bounds(&self, graph: &TaskGraph) -> BoundAnalysis {
+        analyze(self, graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RpuConfig;
+    use crate::task::{ComputeKind, MemoryDirection};
+
+    /// 1 Gop/s compute, parameterized bandwidth, one channel — durations are
+    /// simple ratios, exact in f64 for the values used here.
+    fn unit_config(bandwidth_gbps: f64) -> RpuConfig {
+        RpuConfig {
+            num_hples: 1,
+            vector_length: 1,
+            clock_ghz: 1.0,
+            vector_memory_bytes: 1 << 30,
+            key_memory_bytes: 0,
+            scalar_memory_bytes: 0,
+            dram_bandwidth_gbps: bandwidth_gbps,
+            num_memory_channels: 1,
+            modops_multiplier: 1.0,
+            evk_policy: crate::config::EvkPolicy::Streamed,
+        }
+    }
+
+    /// load -> compute -> store, strictly serial.
+    fn serial_chain(stages: usize) -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let mut prev: Option<TaskId> = None;
+        for i in 0..stages {
+            let deps = |p: &Option<TaskId>| p.map(|t| vec![t]).unwrap_or_default();
+            let load = g.push_memory(
+                MemoryDirection::Load,
+                1_000_000_000,
+                deps(&prev),
+                format!("load {i}"),
+                "P1",
+            );
+            let c = g.push_compute(
+                ComputeKind::Ntt,
+                500_000_000,
+                vec![load],
+                format!("c {i}"),
+                "P1",
+            );
+            let store = g.push_memory(
+                MemoryDirection::Store,
+                250_000_000,
+                vec![c],
+                format!("store {i}"),
+                "P1",
+            );
+            prev = Some(store);
+        }
+        g
+    }
+
+    #[test]
+    fn bound_curve_matches_the_full_analysis_bit_for_bit() {
+        // A chain (dependency-bound) and a wide fan-in (occupancy/queue
+        // bound) — the curve must reproduce the full per-point analysis
+        // exactly, across channel counts, from one shared layout.
+        let mut fan = TaskGraph::new();
+        let loads: Vec<TaskId> = (0..8)
+            .map(|i| {
+                fan.push_memory(
+                    MemoryDirection::Load,
+                    700_000_000 + i,
+                    vec![],
+                    format!("l{i}"),
+                    "P1",
+                )
+            })
+            .collect();
+        fan.push_compute(ComputeKind::Ntt, 2_000_000_000, loads, "join", "P1");
+        let ladder = [0.5, 1.0, 3.0, 12.8, 64.0, 1024.0];
+        for graph in [&serial_chain(3), &fan] {
+            for channels in [1usize, 2, 8] {
+                let engine = RpuEngine::new(unit_config(1.0).with_memory_channels(channels));
+                let curve = bound_curve(&engine, graph, &ladder);
+                for (&bw, &bound) in ladder.iter().zip(&curve) {
+                    let full = RpuEngine::new(unit_config(bw).with_memory_channels(channels))
+                        .bounds(graph);
+                    assert_eq!(
+                        bound.to_bits(),
+                        full.makespan_bound_seconds.to_bits(),
+                        "bw={bw} channels={channels}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_chain_is_bit_exact_against_the_engine() {
+        let g = serial_chain(4);
+        for bw in [0.5, 1.0, 2.0, 8.0, 64.0, 1024.0] {
+            for channels in [1, 2, 4, 8] {
+                let engine = RpuEngine::new(unit_config(bw).with_memory_channels(channels));
+                let b = engine.bounds(&g);
+                let stats = engine.execute_stats(&g).unwrap();
+                assert_eq!(
+                    b.makespan_bound_seconds.to_bits(),
+                    stats.runtime_seconds.to_bits(),
+                    "bw={bw} channels={channels}"
+                );
+                assert_eq!(b.binding, BindingResource::DependencyPath);
+            }
+        }
+    }
+
+    #[test]
+    fn independent_loads_on_one_channel_are_bit_exact_via_queue_order() {
+        let mut g = TaskGraph::new();
+        for i in 0..6 {
+            g.push_memory(
+                MemoryDirection::Load,
+                1_000 + i,
+                vec![],
+                format!("l{i}"),
+                "P1",
+            );
+        }
+        let engine = RpuEngine::new(unit_config(1.0));
+        let b = engine.bounds(&g);
+        let stats = engine.execute_stats(&g).unwrap();
+        assert_eq!(
+            b.makespan_bound_seconds.to_bits(),
+            stats.runtime_seconds.to_bits()
+        );
+        // Nothing but program order serializes these loads.
+        assert!(b.queue_edge_fraction() > 0.99);
+    }
+
+    #[test]
+    fn bound_is_sound_on_a_diamond_with_contention() {
+        // Two parallel branches over one channel: the engine serializes more
+        // than the dependency graph requires, so runtime >= bound, and the
+        // queue-augmented bound is tighter than the dependency bound.
+        let mut g = TaskGraph::new();
+        let a = g.push_memory(MemoryDirection::Load, 4_000_000_000, vec![], "a", "P1");
+        let b = g.push_memory(MemoryDirection::Load, 4_000_000_000, vec![], "b", "P1");
+        let ca = g.push_compute(ComputeKind::Ntt, 1_000_000_000, vec![a], "ca", "P1");
+        let cb = g.push_compute(ComputeKind::Ntt, 1_000_000_000, vec![b], "cb", "P1");
+        g.push_compute(ComputeKind::PointwiseAdd, 1, vec![ca, cb], "join", "P1");
+        for channels in [1, 2] {
+            let engine = RpuEngine::new(unit_config(1.0).with_memory_channels(channels));
+            let bounds = engine.bounds(&g);
+            let stats = engine.execute_stats(&g).unwrap();
+            assert!(
+                bounds.makespan_bound_seconds <= stats.runtime_seconds,
+                "channels={channels}: bound {} > runtime {}",
+                bounds.makespan_bound_seconds,
+                stats.runtime_seconds
+            );
+        }
+        let one = RpuEngine::new(unit_config(1.0)).bounds(&g);
+        assert!(one.queue_bound_seconds > one.dependency_bound_seconds);
+        // On one channel the queues serialize both branch loads with the
+        // whole compute chain, so the placement-aware knee never flattens —
+        // but the *structure* does not force that: the dependency knee is a
+        // real crossover (the branches could overlap on two channels).
+        assert!(matches!(
+            one.knee,
+            RooflineKnee::AlwaysBandwidthSensitive { .. }
+        ));
+        assert!(one.dependency_knee.crossover_gbps().is_some());
+    }
+
+    #[test]
+    fn slack_and_critical_path_on_a_fork() {
+        // One 3 s branch, one 1 s branch, joined by a 1 s compute.
+        let mut g = TaskGraph::new();
+        let slow = g.push_memory(MemoryDirection::Load, 3_000_000_000, vec![], "slow", "P1");
+        let fast = g.push_memory(MemoryDirection::Load, 1_000_000_000, vec![], "fast", "P1");
+        let join = g.push_compute(
+            ComputeKind::PointwiseAdd,
+            1_000_000_000,
+            vec![slow, fast],
+            "join",
+            "P1",
+        );
+        // Two channels so the queue does not serialize the branches.
+        let engine = RpuEngine::new(unit_config(1.0).with_memory_channels(2));
+        let b = engine.bounds(&g);
+        assert_eq!(b.dependency_bound_seconds, 4.0);
+        assert_eq!(b.critical_path, vec![slow, join]);
+        assert_eq!(b.slack[slow], 0.0);
+        assert_eq!(b.slack[join], 0.0);
+        // The fast branch may slide 2 s without delaying the join.
+        assert_eq!(b.slack[fast], 2.0);
+        assert_eq!(b.earliest_start[join], 3.0);
+        assert_eq!(b.latest_start[fast], 2.0);
+    }
+
+    #[test]
+    fn knee_matches_the_closed_form_on_a_race() {
+        // A 1 s compute (at 1 Gop/s) races a 2 GB load; the graph is their
+        // join. Dependency path: max piece is the load side (c=0, m=2) vs
+        // compute (c=1, m=0); aggregate memory m=2, compute floor 1 s. Knee
+        // where 2/bw = 1 -> 2 GB/s.
+        let mut g = TaskGraph::new();
+        let c = g.push_compute(ComputeKind::Ntt, 1_000_000_000, vec![], "c", "P1");
+        let l = g.push_memory(MemoryDirection::Load, 2_000_000_000, vec![], "l", "P1");
+        g.push_compute(ComputeKind::PointwiseAdd, 0, vec![c, l], "join", "P1");
+        let engine = RpuEngine::new(unit_config(64.0));
+        let b = engine.bounds(&g);
+        let knee = b.knee.crossover_gbps().expect("race graph has a knee");
+        assert!((knee - 2.0).abs() < 1e-9, "knee {knee}");
+    }
+
+    #[test]
+    fn degenerate_knees_are_classified() {
+        let engine = RpuEngine::new(unit_config(1.0));
+        // Pure compute: flat everywhere.
+        let mut compute_only = TaskGraph::new();
+        compute_only.push_compute(ComputeKind::Ntt, 100, vec![], "c", "P1");
+        assert_eq!(
+            engine.bounds(&compute_only).knee,
+            RooflineKnee::ComputeBoundEverywhere
+        );
+        // Pure memory: never flattens.
+        let mut memory_only = TaskGraph::new();
+        memory_only.push_memory(MemoryDirection::Load, 100, vec![], "l", "P1");
+        assert_eq!(
+            engine.bounds(&memory_only).knee,
+            RooflineKnee::MemoryBoundEverywhere
+        );
+        // A serial chain carries all compute plus memory on one path: the
+        // bound never reaches the compute floor at any finite bandwidth,
+        // and the residual is the *entire* 2.5 GB of traffic. The regime
+        // starts at the aggregate crossover M/C = 2.5 GB / 1 s.
+        let serial = engine.bounds(&serial_chain(2)).knee;
+        let RooflineKnee::AlwaysBandwidthSensitive {
+            dominated_above_gbps,
+            residual_gb,
+        } = serial
+        else {
+            panic!("serial chain must be bandwidth-sensitive, got {serial:?}");
+        };
+        assert!((residual_gb - 2.5).abs() < 1e-12, "{residual_gb}");
+        assert!(
+            (dominated_above_gbps - 2.5).abs() < 1e-9,
+            "{dominated_above_gbps}"
+        );
+        assert_eq!(serial.effective_knee_gbps(), Some(dominated_above_gbps));
+        assert_eq!(serial.crossover_gbps(), None);
+        // A serial chain's ceiling is structural: the dependency knee (no
+        // queue edges at all) classifies it identically.
+        assert_eq!(engine.bounds(&serial_chain(2)).dependency_knee, serial);
+        // Empty graph.
+        assert_eq!(
+            engine.bounds(&TaskGraph::new()).knee,
+            RooflineKnee::ComputeBoundEverywhere
+        );
+        assert_eq!(engine.bounds(&TaskGraph::new()).makespan_bound_seconds, 0.0);
+    }
+
+    #[test]
+    fn bound_is_flat_above_the_knee() {
+        // Race graph again: above 2 GB/s the bound must equal the compute
+        // floor exactly, below it the memory side holds it higher.
+        let mut g = TaskGraph::new();
+        let c = g.push_compute(ComputeKind::Ntt, 1_000_000_000, vec![], "c", "P1");
+        let l = g.push_memory(MemoryDirection::Load, 2_000_000_000, vec![], "l", "P1");
+        g.push_compute(ComputeKind::PointwiseAdd, 0, vec![c, l], "join", "P1");
+        let floor = RpuEngine::new(unit_config(1.0))
+            .bounds(&g)
+            .compute_occupancy_seconds;
+        for bw in [4.0, 16.0, 1024.0] {
+            let b = RpuEngine::new(unit_config(bw)).bounds(&g);
+            assert_eq!(
+                b.makespan_bound_seconds.to_bits(),
+                floor.to_bits(),
+                "bw={bw}"
+            );
+        }
+        let below = RpuEngine::new(unit_config(1.0)).bounds(&g);
+        assert!(below.makespan_bound_seconds > floor);
+    }
+
+    #[test]
+    fn efficiency_and_display_helpers() {
+        let g = serial_chain(1);
+        let engine = RpuEngine::new(unit_config(1.0));
+        let b = engine.bounds(&g);
+        let stats = engine.execute_stats(&g).unwrap();
+        let eff = b.efficiency(stats.runtime_seconds);
+        assert!((eff - 1.0).abs() < 1e-12);
+        assert!(b.efficiency(0.0) == 1.0);
+        assert!(b.makespan_bound_ms() > 0.0);
+        assert!(format!("{}", b.binding).contains("dependency"));
+        assert!(format!(
+            "{}",
+            RooflineKnee::Crossover {
+                bandwidth_gbps: 2.0
+            }
+        )
+        .contains("2.000"));
+        let sensitive = RooflineKnee::AlwaysBandwidthSensitive {
+            dominated_above_gbps: 2.5,
+            residual_gb: 2.5,
+        };
+        assert!(format!("{sensitive}").contains("no knee"));
+    }
+}

@@ -29,6 +29,10 @@
 //!   semantics: structural checks plus a deadlock-freedom proof over the
 //!   augmented (dependency + in-order queue) graph, the graph-level half of
 //!   the `ciflow::lint` subsystem (lint catalogue in `docs/LINTS.md`).
+//! * [`bound`] — static performance analysis: provable makespan lower
+//!   bounds (dependency paths, queue order, resource occupancy),
+//!   critical-path/slack extraction and the closed-form roofline knee
+//!   (`docs/BOUNDS.md`).
 //!
 //! ## Example
 //!
@@ -50,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analytic;
+pub mod bound;
 pub mod channel;
 pub mod config;
 pub mod engine;
@@ -61,6 +66,7 @@ pub mod trace;
 pub mod verify;
 
 pub use analytic::{AffineTime, ParametricTimeline, Segment, TaskTimes};
+pub use bound::{BindingResource, BoundAnalysis, CriticalEdge, CriticalStep, RooflineKnee};
 pub use channel::ChannelMap;
 pub use config::{EvkPolicy, RpuConfig, MIB};
 pub use engine::{grant_precedes, EngineError, RpuEngine, RunResult, TraceMode};

@@ -42,9 +42,10 @@
 
 use crate::engine::RpuEngine;
 use crate::task::{Label, TaskGraph, TaskId};
+use serde::Serialize;
 
 /// How bad a diagnostic is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
 pub enum Severity {
     /// Informational: worth knowing, never wrong by itself.
     Note,
@@ -72,7 +73,7 @@ impl std::fmt::Display for Severity {
 /// `B...` buffer, `C...` capacity, `P...` placement, `A...` accounting —
 /// the latter four families are emitted by `ciflow::lint`); the full
 /// catalogue lives in `docs/LINTS.md`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Diagnostic {
     /// Stable lint code, e.g. `"D001"`.
     pub code: &'static str,

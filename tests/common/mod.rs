@@ -62,6 +62,79 @@ pub fn assert_stats_bit_identical(a: &ExecutionStats, b: &ExecutionStats) {
     assert_eq!(a.memory_tasks, b.memory_tasks);
 }
 
+/// Critical-path windows computed by [`path_oracle`]: a reference the
+/// `bound_oracle` suite checks `rpu::bound::analyze`'s path passes against.
+pub struct PathOracle {
+    /// Earliest start each task's true dependencies allow.
+    pub earliest_start: Vec<f64>,
+    /// Latest start that still meets the dependency-path makespan.
+    pub latest_start: Vec<f64>,
+    /// `latest_start - earliest_start`.
+    pub slack: Vec<f64>,
+    /// The longest dependency-path length (the dependency makespan bound).
+    pub makespan: f64,
+}
+
+/// A hand-rolled critical-path/slack oracle: Bellman–Ford-style relaxation
+/// to a fixpoint instead of the analyzer's single topological sweep, sharing
+/// no code with `rpu::bound`. It applies the same machine operations the
+/// analyzer does (`f64::max`/`min` folds and one add/subtract per task on
+/// the same durations), so agreement is *exact* — `max` returns one of its
+/// operands and rounding is monotone, making both iteration orders land on
+/// identical bits.
+pub fn path_oracle(tasks: &[Task], durations: &[f64]) -> PathOracle {
+    let n = tasks.len();
+    assert_eq!(durations.len(), n);
+    let mut earliest_start = vec![0.0f64; n];
+    loop {
+        let mut changed = false;
+        for task in tasks {
+            let mut best = 0.0f64;
+            for &dep in &task.dependencies {
+                best = best.max(earliest_start[dep] + durations[dep]);
+            }
+            if best > earliest_start[task.id] {
+                earliest_start[task.id] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let makespan = tasks
+        .iter()
+        .map(|t| earliest_start[t.id] + durations[t.id])
+        .fold(0.0f64, f64::max);
+    let mut latest_start: Vec<f64> = tasks.iter().map(|t| makespan - durations[t.id]).collect();
+    loop {
+        let mut changed = false;
+        for task in tasks {
+            for &dep in &task.dependencies {
+                let candidate = latest_start[task.id] - durations[dep];
+                if candidate < latest_start[dep] {
+                    latest_start[dep] = candidate;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let slack = latest_start
+        .iter()
+        .zip(&earliest_start)
+        .map(|(ls, es)| ls - es)
+        .collect();
+    PathOracle {
+        earliest_start,
+        latest_start,
+        slack,
+        makespan,
+    }
+}
+
 /// A structurally well-formed random graph (ids == indices, deps in range,
 /// no self-deps) whose dependencies all point backwards — the kind
 /// [`rpu::TaskGraph::from_tasks`] accepts, which therefore can never
