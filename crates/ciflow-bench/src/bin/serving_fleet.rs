@@ -2,19 +2,45 @@
 //! figures): throughput, latency percentiles and utilization of an RPU
 //! cluster under the standard request mix, swept over cluster size, the
 //! Fig-4 bandwidth ladder, the built-in dataflows, and the dispatch
-//! policies. Every number comes from the deterministic virtual-clock
-//! simulator — reruns reproduce the tables bit-for-bit.
+//! policies — plus the same fleet under the standard fault plan. Every
+//! number comes from the deterministic virtual-clock simulator — reruns
+//! reproduce the tables bit-for-bit.
+//!
+//! Flags:
+//!
+//! * `--json` — emit one machine-readable `ciflow.serving_gallery.v1`
+//!   document on stdout (reference reports, the resilience report, and the
+//!   fault sweep) instead of the human-readable tables; CI archives it.
 
 use ciflow::api::Session;
 use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
 use ciflow::report::markdown_table;
-use ciflow::serve::{try_serve_in, ArrivalProcess, DispatchPolicy, RequestClass, ServeConfig};
-use ciflow::sweep::{try_serve_sweep_in, BANDWIDTH_LADDER};
+use ciflow::serve::{
+    try_fault_serve_in, try_serve_in, ArrivalProcess, DispatchPolicy, RequestClass, ServeConfig,
+};
+use ciflow::sweep::{try_fault_sweep_in, try_serve_sweep_in, BANDWIDTH_LADDER};
 use ciflow_bench::fmt;
 
 fn main() {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("serving_fleet: unknown flag {other:?} (supported: --json)");
+                std::process::exit(2);
+            }
+        }
+    }
     let session = Session::new();
+    if json {
+        let document = ciflow_bench::serving::render_json(&session);
+        ciflow_bench::serving::validate_json(&document)
+            .expect("rendered gallery must satisfy its schema");
+        println!("{document}");
+        return;
+    }
     let classes = RequestClass::standard_mix(HksBenchmark::ARK);
 
     // Reference point: the configuration the perf report times.
@@ -103,4 +129,48 @@ fn main() {
             &rows
         )
     );
+
+    // The same fleet under the standard adverse fault plan.
+    ciflow_bench::section("Resilience (standard fault plan, closed loop c=8, OC)");
+    let oc_reference = try_serve_in(&session, &reference, Dataflow::OutputCentric)
+        .expect("reference run succeeds");
+    let tick = oc_reference.makespan_seconds / oc_reference.completed as f64;
+    let plan = ciflow_bench::serving::standard_fault_plan(tick);
+    let resilience = try_fault_serve_in(&session, &reference, &plan, Dataflow::OutputCentric)
+        .expect("faulted reference run succeeds");
+    println!("{resilience}");
+    assert!(resilience.conserves_arrivals());
+
+    ciflow_bench::section("Fault sweep: goodput (req/s) across intensity x cluster size");
+    let intensities = [0.0, 0.5, 1.0, 2.0];
+    let sizes = [2usize, 4];
+    let sweep = try_fault_sweep_in(
+        &session,
+        &reference,
+        &plan,
+        Dataflow::OutputCentric,
+        &intensities,
+        &sizes,
+    )
+    .expect("fault sweep succeeds");
+    let header: Vec<String> = std::iter::once("devices \\ intensity".to_string())
+        .chain(intensities.iter().map(|i| format!("{i}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let sweep_rows: Vec<Vec<String>> = sweep
+        .points
+        .chunks(intensities.len())
+        .map(|chunk| {
+            std::iter::once(format!("{}", chunk[0].num_devices))
+                .chain(chunk.iter().map(|p| {
+                    format!(
+                        "{} ({:.0}% up)",
+                        fmt(p.goodput_rps, 1),
+                        100.0 * p.mean_availability
+                    )
+                }))
+                .collect()
+        })
+        .collect();
+    print!("{}", markdown_table(&header_refs, &sweep_rows));
 }

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 
 pub mod perf;
+pub mod serving;
 
 use ciflow::api::Session;
 use ciflow::benchmark::HksBenchmark;

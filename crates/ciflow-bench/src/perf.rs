@@ -22,7 +22,10 @@ use ciflow::benchmark::HksBenchmark;
 use ciflow::dataflow::Dataflow;
 use ciflow::hks_shape::HksShape;
 use ciflow::schedule::{build_schedule, ScheduleConfig};
-use ciflow::serve::{try_serve_in, ArrivalProcess, RequestClass, ServeConfig};
+use ciflow::serve::{
+    try_fault_serve_in, try_serve_in, ArrivalProcess, CrashPlan, FaultPlan, RequestClass,
+    RetryPolicy, ServeConfig,
+};
 use ciflow::sweep::{
     try_analytic_sweep_in, try_workload_sweep, try_workload_sweep_in, BANDWIDTH_LADDER,
 };
@@ -164,6 +167,30 @@ impl ServingPerf {
     }
 }
 
+/// The serving simulator under fault injection at the same reference point
+/// as [`ServingPerf`], with a standard adverse plan (seeded random crashes,
+/// 2% transient failures, capped-backoff retries). Two kinds of numbers:
+/// the *model outputs* (goodput retained under faults relative to the
+/// fault-free throughput, retries, wasted device-seconds — deterministic,
+/// stable across hosts) and the *host* wall time of one faulted run.
+#[derive(Debug, Clone)]
+pub struct ResiliencePerf {
+    /// Devices in the reference cluster.
+    pub num_devices: usize,
+    /// Requests offered per run.
+    pub requests: usize,
+    /// Faulted goodput over fault-free throughput at the reference point —
+    /// deterministic and in `(0, 1]`: downtime and rework can only stretch
+    /// the makespan.
+    pub goodput_fraction: f64,
+    /// Retries the faulted run needed (a model output).
+    pub retries: usize,
+    /// Device-seconds of work discarded by crashes and transient failures.
+    pub wasted_seconds: f64,
+    /// Best-of-N host wall time of one faulted serving run, in ms.
+    pub wall_ms: f64,
+}
+
 /// The full report written to `BENCH_simulator.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -183,6 +210,8 @@ pub struct PerfReport {
     pub analytic_sweep: AnalyticSweepPerf,
     /// Serving-simulator section.
     pub serving: ServingPerf,
+    /// Fault-injected serving section.
+    pub resilience: ResiliencePerf,
 }
 
 /// Best-of-`iters` wall time of `f`, in milliseconds. Runs one untimed
@@ -444,6 +473,49 @@ fn measure_serving(iters: usize) -> ServingPerf {
     }
 }
 
+fn measure_resilience(iters: usize) -> ResiliencePerf {
+    let config = ServeConfig::new(
+        4,
+        RequestClass::standard_mix(HksBenchmark::ARK),
+        ArrivalProcess::ClosedLoop {
+            concurrency: 8,
+            requests: 96,
+        },
+    )
+    .with_rpu(RpuConfig::ciflow_baseline().with_bandwidth(64.0))
+    .with_seed(1);
+    let session = Session::new();
+    let baseline = try_serve_in(&session, &config, Dataflow::OutputCentric)
+        .expect("fault-free reference run succeeds");
+    // The standard adverse plan, scaled to the mix's mean service time.
+    // Retries are generous and admission stays open, so every request
+    // eventually completes: the goodput fraction measures pure fault
+    // overhead (downtime + rework), deterministically in (0, 1].
+    let tick = baseline.makespan_seconds / baseline.completed as f64;
+    let plan = FaultPlan::none()
+        .with_crashes(CrashPlan::Random {
+            mtbf_seconds: 40.0 * tick,
+            mttr_seconds: 5.0 * tick,
+        })
+        .with_transient_failure_rate(0.02)
+        .with_retry(RetryPolicy::capped_exponential(8, 0.5 * tick, 4.0 * tick));
+    let mut faulted = None;
+    let wall_ms = best_ms(iters, || {
+        let report = try_fault_serve_in(&session, &config, &plan, Dataflow::OutputCentric)
+            .expect("faulted serving run succeeds");
+        faulted = Some(std::hint::black_box(report));
+    });
+    let faulted = faulted.expect("best_ms ran at least once");
+    ResiliencePerf {
+        num_devices: config.cluster.num_devices,
+        requests: config.arrival.requests(),
+        goodput_fraction: faulted.goodput_rps / baseline.throughput_rps,
+        retries: faulted.retries,
+        wasted_seconds: faulted.wasted_seconds,
+        wall_ms,
+    }
+}
+
 /// The analytic-sweep section's ladder density in the shipped report: a
 /// 1000-point geometric ladder, where an engine-path sweep costs an event
 /// loop per point and the analytic path costs one symbolic analysis total.
@@ -473,6 +545,7 @@ fn measure_with_ladders(iters: usize, bandwidths: &[f64], analytic_points: usize
         workload_sweep: measure_workload_sweep(iters, bandwidths),
         analytic_sweep: measure_analytic_sweep(iters, analytic_points),
         serving: measure_serving(iters),
+        resilience: measure_resilience(iters),
     }
 }
 
@@ -513,9 +586,10 @@ impl PerfReport {
         let w = &self.workload_sweep;
         let a = &self.analytic_sweep;
         let s = &self.serving;
+        let r = &self.resilience;
         format!(
             r#"{{
-  "schema": "ciflow.perf_report.v4",
+  "schema": "ciflow.perf_report.v5",
   "threads": {threads},
   "iterations": {iterations},
   "schedule_generation": {{
@@ -562,6 +636,15 @@ impl PerfReport {
     "wall_ms": {serving_wall},
     "wall_us_per_request": {serving_us_per_request},
     "reference_point": "standard ARK mix, closed loop c=8, OC, 4 RPUs @ 64 GB/s, warm schedule cache"
+  }},
+  "resilience": {{
+    "num_devices": {resilience_devices},
+    "requests": {resilience_requests},
+    "goodput_fraction": {resilience_goodput},
+    "retries": {resilience_retries},
+    "wasted_seconds": {resilience_wasted},
+    "wall_ms": {resilience_wall},
+    "fault_plan": "random crashes (MTBF 40 ticks, MTTR 5), 2% transient failures, capped-backoff retries x8, open admission"
   }}
 }}
 "#,
@@ -596,6 +679,12 @@ impl PerfReport {
             serving_rps = json_f64(s.simulated_rps),
             serving_wall = json_f64(s.wall_ms),
             serving_us_per_request = json_f64(s.wall_us_per_request()),
+            resilience_devices = r.num_devices,
+            resilience_requests = r.requests,
+            resilience_goodput = json_f64(r.goodput_fraction),
+            resilience_retries = r.retries,
+            resilience_wasted = json_f64(r.wasted_seconds),
+            resilience_wall = json_f64(r.wall_ms),
         )
     }
 
@@ -607,6 +696,7 @@ impl PerfReport {
         let w = &self.workload_sweep;
         let a = &self.analytic_sweep;
         let s = &self.serving;
+        let r = &self.resilience;
         format!(
             "schedule generation : {} schedules in {:.2} ms ({:.3} ms each)\n\
              engine execution    : {} tasks, traced {:.3} ms, stats-only {:.3} ms\n\
@@ -617,7 +707,9 @@ impl PerfReport {
              analytic sweep      : {} x {} points x {} modes, {} segments\n\
              \x20 engine path {:.2} ms vs analytic {:.2} ms -> {:.2}x speedup\n\
              serving             : {} req on {} RPUs, {:.1} simulated req/s\n\
-             \x20 host {:.2} ms per run ({:.1} us per simulated request)\n",
+             \x20 host {:.2} ms per run ({:.1} us per simulated request)\n\
+             resilience          : {} req on {} RPUs under the standard fault plan\n\
+             \x20 {:.1}% goodput retained, {} retries, {:.3} s wasted, host {:.2} ms per run\n",
             g.schedules,
             g.total_ms,
             g.total_ms / g.schedules as f64,
@@ -646,8 +738,64 @@ impl PerfReport {
             s.simulated_rps,
             s.wall_ms,
             s.wall_us_per_request(),
+            r.requests,
+            r.num_devices,
+            100.0 * r.goodput_fraction,
+            r.retries,
+            r.wasted_seconds,
+            r.wall_ms,
         )
     }
+}
+
+/// Checks structural balance of a hand-rolled JSON document: braces and
+/// brackets count only *outside* string literals (an escaped name may
+/// legitimately contain `{`, `}` or `\"`), and every string must be
+/// closed. Shared by the perf-report and serving-gallery validators.
+pub(crate) fn check_structure(json: &str) -> Result<(), String> {
+    let mut depth = 0i64;
+    let mut bracket_depth = 0i64;
+    let mut in_string = false;
+    let mut string_escape = false;
+    for c in json.chars() {
+        if in_string {
+            match c {
+                _ if string_escape => string_escape = false,
+                '\\' => string_escape = true,
+                '"' => in_string = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err("unbalanced braces".to_string());
+                }
+            }
+            '[' => bracket_depth += 1,
+            ']' => {
+                bracket_depth -= 1;
+                if bracket_depth < 0 {
+                    return Err("unbalanced brackets".to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err("unbalanced braces".to_string());
+    }
+    if bracket_depth != 0 {
+        return Err("unbalanced brackets".to_string());
+    }
+    if in_string {
+        return Err("unbalanced quotes".to_string());
+    }
+    Ok(())
 }
 
 /// Validates a rendered `BENCH_simulator.json` document: every schema key is
@@ -655,7 +803,7 @@ impl PerfReport {
 /// positive number. Returns a description of the first problem found.
 pub fn validate_json(json: &str) -> Result<(), String> {
     for key in [
-        "\"schema\": \"ciflow.perf_report.v4\"",
+        "\"schema\": \"ciflow.perf_report.v5\"",
         "\"threads\"",
         "\"iterations\"",
         "\"schedule_generation\"",
@@ -691,45 +839,17 @@ pub fn validate_json(json: &str) -> Result<(), String> {
         "\"wall_ms\"",
         "\"wall_us_per_request\"",
         "\"reference_point\"",
+        "\"resilience\"",
+        "\"goodput_fraction\"",
+        "\"retries\"",
+        "\"wasted_seconds\"",
+        "\"fault_plan\"",
     ] {
         if !json.contains(key) {
             return Err(format!("missing key {key}"));
         }
     }
-    // Structural balance: braces count only *outside* string literals (an
-    // escaped name may legitimately contain `{`, `}` or `\"`), and every
-    // string must be closed.
-    let mut depth = 0i64;
-    let mut in_string = false;
-    let mut string_escape = false;
-    for c in json.chars() {
-        if in_string {
-            match c {
-                _ if string_escape => string_escape = false,
-                '\\' => string_escape = true,
-                '"' => in_string = false,
-                _ => {}
-            }
-            continue;
-        }
-        match c {
-            '"' => in_string = true,
-            '{' => depth += 1,
-            '}' => {
-                depth -= 1;
-                if depth < 0 {
-                    return Err("unbalanced braces".to_string());
-                }
-            }
-            _ => {}
-        }
-    }
-    if depth != 0 {
-        return Err("unbalanced braces".to_string());
-    }
-    if in_string {
-        return Err("unbalanced quotes".to_string());
-    }
+    check_structure(json)?;
     let speedup: f64 = json
         .split("\"speedup\": ")
         .nth(1)
@@ -779,6 +899,20 @@ pub fn validate_json(json: &str) -> Result<(), String> {
     if simulated_rps.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return Err(format!("simulated_rps {simulated_rps} is not positive"));
     }
+    let goodput_fraction: f64 = json
+        .split("\"goodput_fraction\": ")
+        .nth(1)
+        .and_then(|rest| rest.split([',', '\n']).next())
+        .ok_or("goodput_fraction field not found")?
+        .trim()
+        .parse()
+        .map_err(|e| format!("goodput_fraction does not parse: {e}"))?;
+    if !(goodput_fraction > 0.0 && goodput_fraction <= 1.0) {
+        return Err(format!(
+            "goodput_fraction {goodput_fraction} is outside (0, 1] — downtime and \
+             rework can only stretch the faulted makespan"
+        ));
+    }
     Ok(())
 }
 
@@ -818,6 +952,14 @@ mod tests {
         assert!(report.serving.simulated_rps > 0.0);
         assert!(report.serving.wall_ms > 0.0);
         assert!(report.serving.wall_us_per_request() > 0.0);
+        assert_eq!(report.resilience.num_devices, 4);
+        assert_eq!(report.resilience.requests, 96);
+        assert!(
+            report.resilience.goodput_fraction > 0.0 && report.resilience.goodput_fraction <= 1.0,
+            "faults can only cost goodput ({})",
+            report.resilience.goodput_fraction
+        );
+        assert!(report.resilience.wall_ms > 0.0);
         let json = report.to_json();
         validate_json(&json).expect("rendered report must satisfy its schema");
         assert!(!report.render_text().is_empty());
@@ -855,5 +997,16 @@ mod tests {
             "\"analytic_speedup\": 0.0",
         );
         assert!(validate_json(&broken).is_err());
+        let broken = json.replace(
+            &format!(
+                "\"goodput_fraction\": {:.4}",
+                report.resilience.goodput_fraction
+            ),
+            "\"goodput_fraction\": 1.5",
+        );
+        assert!(
+            validate_json(&broken).is_err(),
+            "goodput above the fault-free bound must be rejected"
+        );
     }
 }

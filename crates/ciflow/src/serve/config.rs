@@ -77,9 +77,10 @@ impl ServeConfig {
     }
 
     /// Checks the configuration for structural problems that would otherwise
-    /// surface as panics deep inside the simulation (empty cluster, empty
-    /// mix, degenerate weights, non-finite or non-positive arrival rate,
-    /// zero clients, zero requests).
+    /// surface as panics deep inside the simulation (empty cluster,
+    /// non-finite or non-positive per-device bandwidth, empty mix,
+    /// degenerate weights, non-finite or non-positive arrival rate, zero
+    /// clients, zero requests). Every rejection names the offending value.
     ///
     /// # Errors
     ///
@@ -89,6 +90,12 @@ impl ServeConfig {
         let invalid = |message: String| Err(CiflowError::InvalidConfig { message });
         if self.cluster.num_devices == 0 {
             return invalid("serving cluster has zero devices".to_string());
+        }
+        let bandwidth = self.cluster.rpu.dram_bandwidth_gbps;
+        if !bandwidth.is_finite() || bandwidth <= 0.0 {
+            return invalid(format!(
+                "per-device DRAM bandwidth {bandwidth} GB/s is not finite and positive"
+            ));
         }
         if self.classes.is_empty() {
             return invalid("serving mix has zero request classes".to_string());
@@ -104,13 +111,19 @@ impl ServeConfig {
             total_weight += class.weight;
         }
         if total_weight <= 0.0 {
-            return invalid("request class weights sum to zero".to_string());
+            return invalid(format!(
+                "request class weights sum to {total_weight}; at least one class \
+                 needs positive weight"
+            ));
         }
         match self.arrival {
             ArrivalProcess::OpenLoop { rate_rps, .. } => {
-                if !rate_rps.is_finite() || rate_rps <= 0.0 {
+                if !rate_rps.is_finite() {
+                    return invalid(format!("open-loop arrival rate {rate_rps} is not finite"));
+                }
+                if rate_rps <= 0.0 {
                     return invalid(format!(
-                        "open-loop arrival rate {rate_rps} is not finite and positive"
+                        "open-loop arrival rate {rate_rps} req/s is not positive"
                     ));
                 }
             }
@@ -195,5 +208,48 @@ mod tests {
                 "config must be rejected: {config:?}"
             );
         }
+    }
+
+    fn rejection(config: &ServeConfig) -> String {
+        match config.validate() {
+            Err(CiflowError::InvalidConfig { message }) => message,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejections_name_the_offending_value() {
+        let mut zero_devices = base();
+        zero_devices.cluster.num_devices = 0;
+        assert!(rejection(&zero_devices).contains("zero devices"));
+
+        let mut nan_bandwidth = base();
+        nan_bandwidth.cluster.rpu.dram_bandwidth_gbps = f64::NAN;
+        assert!(rejection(&nan_bandwidth).contains("DRAM bandwidth NaN"));
+        let mut zero_bandwidth = base();
+        zero_bandwidth.cluster.rpu.dram_bandwidth_gbps = 0.0;
+        assert!(rejection(&zero_bandwidth).contains("DRAM bandwidth 0 GB/s"));
+
+        let mut zero_weights = base();
+        for class in &mut zero_weights.classes {
+            class.weight = 0.0;
+        }
+        assert!(rejection(&zero_weights).contains("weights sum to 0"));
+        let mut negative_weight = base();
+        negative_weight.classes[0].weight = -0.5;
+        assert!(rejection(&negative_weight).contains("invalid weight -0.5"));
+
+        let mut infinite_rate = base();
+        infinite_rate.arrival = ArrivalProcess::OpenLoop {
+            rate_rps: f64::INFINITY,
+            requests: 10,
+        };
+        assert!(rejection(&infinite_rate).contains("rate inf is not finite"));
+        let mut negative_rate = base();
+        negative_rate.arrival = ArrivalProcess::OpenLoop {
+            rate_rps: -3.0,
+            requests: 10,
+        };
+        assert!(rejection(&negative_rate).contains("rate -3 req/s is not positive"));
     }
 }

@@ -40,13 +40,23 @@
 //! assert!(report.throughput_rps > 0.0);
 //! ```
 //!
+//! The fleet above is perfectly reliable; production fleets are not. The
+//! fault layer runs the *same* event loop under a [`FaultPlan`] —
+//! seeded device crashes and restarts, bandwidth-degradation windows,
+//! transient per-attempt failures — handled by deadlines, capped-backoff
+//! retries, crash failover, and admission control with graceful
+//! degradation. [`try_fault_serve`] returns a [`ResilienceReport`]; a
+//! zero-fault plan replays the plain [`ServeReport`] bit-for-bit.
+//!
 //! See `docs/SERVING.md` for the model in depth, and
-//! [`try_serve_sweep`](crate::sweep::try_serve_sweep) for sweeping cluster
-//! size, bandwidth, and strategy in one call.
+//! [`try_serve_sweep`](crate::sweep::try_serve_sweep) /
+//! [`try_fault_sweep`](crate::sweep::try_fault_sweep) for sweeping cluster
+//! size, bandwidth, and fault intensity in one call.
 
 mod arrival;
 mod config;
 mod dispatch;
+mod fault;
 mod report;
 mod request;
 mod sim;
@@ -54,6 +64,11 @@ mod sim;
 pub use arrival::ArrivalProcess;
 pub use config::{ClusterConfig, ServeConfig};
 pub use dispatch::DispatchPolicy;
+pub(crate) use fault::{degraded_service_rows, resilience_with_service_times, ServiceTable};
+pub use fault::{
+    try_fault_serve, try_fault_serve_in, AdmissionPolicy, CrashEvent, CrashPlan, DegradeWindow,
+    DeviceAvailability, FaultPlan, ResilienceReport, RetryPolicy,
+};
 pub use report::{
     ClassUsage, DeviceUsage, LatencySummary, QueueSummary, RequestRecord, ServeReport,
 };
@@ -185,6 +200,64 @@ mod tests {
             try_serve(&config, "OC"),
             Err(CiflowError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn zero_duration_service_times_complete_without_dividing_by_zero() {
+        // Degenerate but legal for the virtual clock: a class that takes no
+        // time at all. Every request completes at its arrival instant, the
+        // queue never forms, and no summary statistic divides by zero.
+        let config = ServeConfig::new(
+            1,
+            vec![
+                RequestClass::single(HksBenchmark::ARK, 0.5),
+                RequestClass::relinearize(HksBenchmark::ARK, 0.5),
+            ],
+            ArrivalProcess::OpenLoop {
+                rate_rps: 100.0,
+                requests: 12,
+            },
+        );
+        let report = serve_with_service_times(&config, "OC".to_string(), &[0.0, 0.0]);
+        assert_eq!(report.completed, 12);
+        assert!(report.makespan_seconds > 0.0, "arrivals still take time");
+        assert!(report.throughput_rps.is_finite());
+        // Arrivals pass through the queue for an instant (depth is sampled
+        // after insertion, before same-instant dispatch) but accumulate no
+        // waiting time.
+        assert!(report.queue.max_depth <= 1);
+        assert_eq!(
+            report.queue.mean_depth, 0.0,
+            "zero-width intervals add no area"
+        );
+        assert_eq!(report.latency.max_ms, 0.0);
+        for record in &report.records {
+            assert_eq!(record.wait_seconds, 0.0);
+            assert_eq!(record.service_seconds, 0.0);
+        }
+        for device in &report.devices {
+            assert_eq!(device.busy_seconds, 0.0);
+            assert_eq!(device.utilization, 0.0);
+        }
+
+        // A closed loop of instant requests collapses to a single instant:
+        // the makespan is zero and rates are reported as zero, not NaN.
+        let closed = ServeConfig::new(
+            1,
+            vec![RequestClass::single(HksBenchmark::ARK, 1.0)],
+            ArrivalProcess::ClosedLoop {
+                concurrency: 2,
+                requests: 8,
+            },
+        );
+        let report = serve_with_service_times(&closed, "OC".to_string(), &[0.0]);
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.makespan_seconds, 0.0);
+        assert_eq!(
+            report.throughput_rps, 0.0,
+            "zero makespan reports zero throughput, not NaN or infinity"
+        );
+        assert!(report.queue.mean_depth.is_finite());
     }
 
     #[test]

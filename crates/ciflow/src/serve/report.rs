@@ -133,6 +133,77 @@ impl ServeReport {
     pub fn latencies_ms(&self) -> Vec<f64> {
         self.records.iter().map(RequestRecord::latency_ms).collect()
     }
+
+    /// Renders the report as one `ciflow.serve_report.v1` JSON document —
+    /// the machine-readable twin of the [`Display`](std::fmt::Display)
+    /// line, embedded by `serving_fleet --json` and by
+    /// [`ResilienceReport::to_json`](super::ResilienceReport::to_json).
+    pub fn to_json(&self) -> String {
+        let devices = self
+            .devices
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"device\":{},\"served\":{},\"busy_seconds\":{},\"utilization\":{}}}",
+                    d.device, d.served, d.busy_seconds, d.utilization
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let classes = self
+            .classes
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"name\":\"{}\",\"served\":{},\"service_ms\":{}}}",
+                    json_escape(&c.name),
+                    c.served,
+                    c.service_ms
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"id\":{},\"class\":{},\"device\":{},\"arrival_seconds\":{},\
+                     \"wait_seconds\":{},\"service_seconds\":{}}}",
+                    r.id, r.class, r.device, r.arrival_seconds, r.wait_seconds, r.service_seconds
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"schema\":\"ciflow.serve_report.v1\",\"strategy\":\"{}\",\"policy\":\"{}\",\
+             \"seed\":{},\"num_devices\":{},\"bandwidth_gbps\":{},\"completed\":{},\
+             \"makespan_seconds\":{},\"throughput_rps\":{},\
+             \"latency\":{{\"mean_ms\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\
+             \"max_ms\":{}}},\"queue\":{{\"max_depth\":{},\"mean_depth\":{}}},\
+             \"devices\":[{devices}],\"classes\":[{classes}],\"records\":[{records}]}}",
+            json_escape(&self.strategy),
+            self.policy,
+            self.seed,
+            self.num_devices,
+            self.bandwidth_gbps,
+            self.completed,
+            self.makespan_seconds,
+            self.throughput_rps,
+            self.latency.mean_ms,
+            self.latency.p50_ms,
+            self.latency.p95_ms,
+            self.latency.p99_ms,
+            self.latency.max_ms,
+            self.queue.max_depth,
+            self.queue.mean_depth,
+        )
+    }
+}
+
+/// Escapes a string for embedding in the hand-rolled JSON documents.
+pub(crate) fn json_escape(raw: &str) -> String {
+    raw.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 impl std::fmt::Display for ServeReport {

@@ -14,7 +14,7 @@ use crate::api::{Job, Session, StrategySpec};
 use crate::benchmark::HksBenchmark;
 use crate::dataflow::Dataflow;
 use crate::error::CiflowError;
-use crate::serve::{DispatchPolicy, ServeConfig};
+use crate::serve::{DispatchPolicy, FaultPlan, ServeConfig};
 use crate::workload::{PipelineMode, Workload};
 use rpu::{EvkPolicy, RpuConfig, RpuEngine};
 use serde::Serialize;
@@ -1117,6 +1117,199 @@ pub fn try_serve_sweep_in(
         });
     }
     Ok(ServeSweep {
+        strategy: strategy_name,
+        policy: base.policy,
+        seed: base.seed,
+        points,
+    })
+}
+
+/// One point of a fault sweep: one cluster size at one fault intensity,
+/// summarized. Like [`ServeSweepPoint`], the full
+/// [`ResilienceReport`](crate::serve::ResilienceReport) is not retained.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FaultSweepPoint {
+    /// Fault-intensity multiplier this point ran under (see
+    /// [`FaultPlan::scaled`]).
+    pub intensity: f64,
+    /// Number of devices in the cluster at this point.
+    pub num_devices: usize,
+    /// Arrivals offered to the cluster.
+    pub offered: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests that timed out (deadline or retry budget).
+    pub timed_out: usize,
+    /// Arrivals shed by admission control.
+    pub shed: usize,
+    /// Completions served as the downgraded fallback class.
+    pub degraded: usize,
+    /// Dispatch attempts beyond each request's first.
+    pub retries: usize,
+    /// Useful completions per virtual second.
+    pub goodput_rps: f64,
+    /// All completions per virtual second.
+    pub throughput_rps: f64,
+    /// Mean device availability over the makespan.
+    pub mean_availability: f64,
+    /// Device-seconds of discarded work.
+    pub wasted_seconds: f64,
+    /// 99th-percentile latency over completed requests, in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// A fault sweep over fault intensities × cluster sizes for one strategy,
+/// one base [`FaultPlan`], one dispatch policy and one seed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultSweep {
+    /// Strategy short name.
+    pub strategy: String,
+    /// Dispatch policy every point used.
+    pub policy: DispatchPolicy,
+    /// Arrival seed every point used.
+    pub seed: u64,
+    /// Sampled points: cluster sizes in the order given, each size swept
+    /// across the intensities in the order given (size-major).
+    pub points: Vec<FaultSweepPoint>,
+}
+
+/// Sweeps the faulted serving simulator over `intensities` ×
+/// `cluster_sizes`, holding the request mix, arrival process, dispatch
+/// policy, seed, per-device bandwidth, and the *shape* of `base_plan`
+/// fixed. Each point runs `base_plan.scaled(intensity)` (see
+/// [`FaultPlan::scaled`]: random crash rates and the transient-failure
+/// rate scale; intensity `0` is the fault-free bound with the handling
+/// policies still on). Strategy names resolve against the built-in
+/// registry — use [`try_fault_sweep_in`] for custom registries.
+///
+/// # Errors
+///
+/// Returns [`CiflowError::InvalidConfig`] for an empty intensity or size
+/// ladder, a non-finite/negative intensity, or the first failing point's
+/// error (e.g. a scripted crash or degradation window targeting a device
+/// a smaller cluster does not have).
+pub fn try_fault_sweep(
+    base: &ServeConfig,
+    base_plan: &FaultPlan,
+    strategy: impl Into<StrategySpec>,
+    intensities: &[f64],
+    cluster_sizes: &[usize],
+) -> Result<FaultSweep, CiflowError> {
+    try_fault_sweep_in(
+        &Session::new(),
+        base,
+        base_plan,
+        strategy,
+        intensities,
+        cluster_sizes,
+    )
+}
+
+/// [`try_fault_sweep`] resolving strategy names through `session`'s
+/// registry and reusing its schedule cache. Baseline service times are
+/// measured once per class through the engine (exactly as
+/// [`try_fault_serve_in`](crate::serve::try_fault_serve_in) measures them)
+/// and degraded rows once per class through the parametric timelines; the
+/// whole grid replays those tables.
+///
+/// # Errors
+///
+/// Returns [`CiflowError::InvalidConfig`] for an empty or invalid ladder,
+/// or the first failing point's error.
+pub fn try_fault_sweep_in(
+    session: &Session,
+    base: &ServeConfig,
+    base_plan: &FaultPlan,
+    strategy: impl Into<StrategySpec>,
+    intensities: &[f64],
+    cluster_sizes: &[usize],
+) -> Result<FaultSweep, CiflowError> {
+    let spec: StrategySpec = strategy.into();
+    if intensities.is_empty() {
+        return Err(CiflowError::InvalidConfig {
+            message: "fault sweep has an empty intensity ladder".to_string(),
+        });
+    }
+    for &intensity in intensities {
+        if !intensity.is_finite() || intensity < 0.0 {
+            return Err(CiflowError::InvalidConfig {
+                message: format!("fault intensity {intensity} is not finite and non-negative"),
+            });
+        }
+    }
+    if cluster_sizes.is_empty() {
+        return Err(CiflowError::InvalidConfig {
+            message: "fault sweep has an empty cluster-size ladder".to_string(),
+        });
+    }
+    // Surface structural problems before measuring anything, exactly as the
+    // per-point path would at its first grid point.
+    let mut probe = base.clone();
+    probe.cluster.num_devices = cluster_sizes[0];
+    probe.validate()?;
+    base_plan.validate(&probe)?;
+
+    // One engine run per class for the baseline service times, one
+    // timeline per class for the degraded rows; every grid point replays
+    // these tables.
+    let measured = crate::parallel::map(base.classes.clone(), |class| {
+        let job = class.job(spec.clone()).with_rpu(base.cluster.rpu.clone());
+        session.run_job(&job)
+    });
+    let mut base_service = Vec::with_capacity(measured.len());
+    let mut strategy_name = spec.display_name();
+    for output in measured {
+        let output = output?;
+        strategy_name = output.strategy.clone();
+        base_service.push(output.stats.runtime_seconds);
+    }
+    let degraded = crate::serve::degraded_service_rows(session, base, base_plan, &spec)?;
+    let services = crate::serve::ServiceTable {
+        base: base_service,
+        degraded,
+    };
+
+    let grid: Vec<(usize, f64)> = cluster_sizes
+        .iter()
+        .flat_map(|&n| intensities.iter().map(move |&i| (n, i)))
+        .collect();
+    let reports =
+        crate::parallel::map(grid, |(num_devices, intensity)| -> Result<_, CiflowError> {
+            let mut config = base.clone();
+            config.cluster.num_devices = num_devices;
+            config.validate()?;
+            let plan = base_plan.scaled(intensity);
+            plan.validate(&config)?;
+            Ok((
+                intensity,
+                crate::serve::resilience_with_service_times(
+                    &config,
+                    &plan,
+                    strategy_name.clone(),
+                    &services,
+                ),
+            ))
+        });
+    let mut points = Vec::with_capacity(reports.len());
+    for report in reports {
+        let (intensity, report) = report?;
+        points.push(FaultSweepPoint {
+            intensity,
+            num_devices: report.serve.num_devices,
+            offered: report.offered,
+            completed: report.serve.completed,
+            timed_out: report.timed_out,
+            shed: report.shed,
+            degraded: report.degraded,
+            retries: report.retries,
+            goodput_rps: report.goodput_rps,
+            throughput_rps: report.serve.throughput_rps,
+            mean_availability: report.mean_availability(),
+            wasted_seconds: report.wasted_seconds,
+            p99_ms: report.serve.latency.p99_ms,
+        });
+    }
+    Ok(FaultSweep {
         strategy: strategy_name,
         policy: base.policy,
         seed: base.seed,

@@ -118,3 +118,40 @@ fn readme_links_the_architecture_documentation() {
         assert!(root.join(doc).is_file(), "{doc} is missing");
     }
 }
+
+/// The resilient-serving walkthrough in the README is a doctest (compiled
+/// and run via the crate's `ReadmeDoctests` include), and its normative
+/// counterpart lives in `docs/SERVING.md`. Pin both so the section cannot
+/// silently disappear while the docs still advertise it.
+#[test]
+fn readme_documents_resilient_serving_and_the_fault_model() {
+    let root = repo_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README exists");
+    assert!(
+        readme.contains("## Resilient serving"),
+        "README.md must keep the resilient-serving section"
+    );
+    for snippet in [
+        "try_fault_serve",
+        "FaultPlan::none()",
+        "report.timed_out + report.shed",
+        "goodput_rps",
+    ] {
+        assert!(
+            readme.contains(snippet),
+            "the README resilient-serving doctest must exercise {snippet}"
+        );
+    }
+    let serving = std::fs::read_to_string(root.join("docs/SERVING.md")).expect("SERVING.md exists");
+    for heading in [
+        "## Faults and failure handling",
+        "**Crash semantics**",
+        "**Conservation**",
+        "**Zero-fault replay**",
+    ] {
+        assert!(
+            serving.contains(heading),
+            "docs/SERVING.md must keep the normative fault-model section ({heading})"
+        );
+    }
+}

@@ -135,12 +135,46 @@ fn invalid_configurations_error_on_the_direct_path() {
     ));
 
     // Degenerate weights.
-    let mut nan_weight = ServeConfig::new(2, mix, valid_arrival);
+    let mut nan_weight = ServeConfig::new(2, mix.clone(), valid_arrival);
     nan_weight.classes[0].weight = f64::NAN;
     assert!(matches!(
         try_serve(&nan_weight, "OC"),
         Err(CiflowError::InvalidConfig { .. })
     ));
+
+    // The rejection names the offending value, on the direct path...
+    let mut zero_weights = ServeConfig::new(2, mix.clone(), valid_arrival);
+    for class in &mut zero_weights.classes {
+        class.weight = 0.0;
+    }
+    match try_serve(&zero_weights, "OC") {
+        Err(CiflowError::InvalidConfig { message }) => {
+            assert!(message.contains("weights sum to 0"), "got {message:?}");
+        }
+        other => panic!("zero-weight mix must be rejected, got {other:?}"),
+    }
+    let mut negative_rate = ServeConfig::new(2, mix.clone(), valid_arrival);
+    negative_rate.arrival = ArrivalProcess::OpenLoop {
+        rate_rps: -5.0,
+        requests: 8,
+    };
+    match try_serve(&negative_rate, "OC") {
+        Err(CiflowError::InvalidConfig { message }) => {
+            assert!(
+                message.contains("rate -5 req/s is not positive"),
+                "got {message:?}"
+            );
+        }
+        other => panic!("negative rate must be rejected, got {other:?}"),
+    }
+    let mut bad_bandwidth = ServeConfig::new(2, mix, valid_arrival);
+    bad_bandwidth.cluster.rpu.dram_bandwidth_gbps = f64::NAN;
+    match try_serve(&bad_bandwidth, "OC") {
+        Err(CiflowError::InvalidConfig { message }) => {
+            assert!(message.contains("DRAM bandwidth NaN"), "got {message:?}");
+        }
+        other => panic!("NaN bandwidth must be rejected, got {other:?}"),
+    }
 }
 
 #[test]
@@ -183,6 +217,18 @@ fn invalid_configurations_error_on_the_sweep_path() {
         try_serve_sweep(&base, "not-a-strategy", &[2], &[8.0]),
         Err(CiflowError::UnknownStrategy { .. })
     ));
+
+    // The sweep path carries the same specific message as the direct path.
+    let mut zero_weights = base.clone();
+    for class in &mut zero_weights.classes {
+        class.weight = 0.0;
+    }
+    match try_serve_sweep(&zero_weights, "OC", &[2], &[8.0]) {
+        Err(CiflowError::InvalidConfig { message }) => {
+            assert!(message.contains("weights sum to 0"), "got {message:?}");
+        }
+        other => panic!("zero-weight mix must fail the sweep, got {other:?}"),
+    }
 }
 
 /// The ISSUE acceptance sweep: ≥2 cluster sizes × the Fig-4 bandwidth
@@ -278,6 +324,99 @@ fn overload_grows_the_queue_and_devices_relieve_it() {
     assert!(fleet_report.queue.max_depth < report.queue.max_depth);
     assert!(fleet_report.makespan_seconds < report.makespan_seconds);
     assert!(fleet_report.latency.p99_ms < report.latency.p99_ms);
+}
+
+/// A closed loop with more clients than the request budget: only
+/// `requests` arrivals are ever issued, so the effective concurrency is
+/// the budget and the run still terminates cleanly.
+#[test]
+fn closed_loop_concurrency_beyond_the_budget_issues_only_the_budget() {
+    let session = Session::new();
+    let config = ServeConfig::new(
+        2,
+        vec![RequestClass::single(HksBenchmark::ARK, 1.0)],
+        ArrivalProcess::ClosedLoop {
+            concurrency: 16,
+            requests: 3,
+        },
+    );
+    let report = try_serve_in(&session, &config, "OC").unwrap();
+    assert_eq!(report.completed, 3, "the budget caps the issued requests");
+    assert_eq!(report.records.len(), 3);
+    // All three arrive at time zero (the 16-client ramp is truncated), two
+    // dispatch immediately on the two devices, one waits for the first
+    // completion.
+    assert!(report
+        .records
+        .iter()
+        .all(|r| r.arrival_seconds.to_bits() == 0.0f64.to_bits()));
+    assert_eq!(report.queue.max_depth, 1);
+    let service = report.records[0].service_seconds;
+    assert!((report.makespan_seconds - 2.0 * service).abs() <= service * 1e-12);
+}
+
+/// Queue-depth accounting on a single overloaded device: the reported
+/// time-weighted mean depth is exactly the integral of the per-request
+/// waiting intervals, and the max depth matches the maximum interval
+/// overlap — both reconstructed independently from the records.
+#[test]
+fn queue_depth_accounting_matches_the_records() {
+    let session = Session::new();
+    let classes = vec![RequestClass::single(HksBenchmark::ARK, 1.0)];
+    let probe = ServeConfig::new(
+        1,
+        classes.clone(),
+        ArrivalProcess::ClosedLoop {
+            concurrency: 1,
+            requests: 1,
+        },
+    );
+    let service = try_serve_in(&session, &probe, "OC").unwrap().records[0].service_seconds;
+
+    let config = ServeConfig::new(
+        1,
+        classes,
+        ArrivalProcess::OpenLoop {
+            rate_rps: 6.0 / service,
+            requests: 30,
+        },
+    )
+    .with_seed(17);
+    let report = try_serve_in(&session, &config, "OC").unwrap();
+    assert_eq!(report.completed, 30);
+
+    // ∫ depth dt = Σ wait: each queued request contributes exactly its
+    // waiting interval to the depth integral.
+    let wait_integral: f64 = report.records.iter().map(|r| r.wait_seconds).sum();
+    let reported_area = report.queue.mean_depth * report.makespan_seconds;
+    assert!(
+        (reported_area - wait_integral).abs() <= wait_integral.abs() * 1e-9,
+        "mean depth x makespan ({reported_area}) must equal the summed \
+         waits ({wait_integral})"
+    );
+
+    // Max depth = max overlap of the waiting intervals [arrival, dispatch).
+    let mut events: Vec<(f64, i64)> = Vec::new();
+    for r in &report.records {
+        if r.wait_seconds > 0.0 {
+            events.push((r.arrival_seconds, 1));
+            events.push((r.arrival_seconds + r.wait_seconds, -1));
+        }
+    }
+    // Half-open intervals: departures at t leave before arrivals at t join.
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut depth = 0i64;
+    let mut max_overlap = 0i64;
+    for (_, delta) in events {
+        depth += delta;
+        max_overlap = max_overlap.max(depth);
+    }
+    assert_eq!(
+        usize::try_from(max_overlap).unwrap(),
+        report.queue.max_depth,
+        "reported max depth must equal the reconstructed interval overlap"
+    );
+    assert!(report.queue.max_depth >= 5, "a 6x overload queues deeply");
 }
 
 #[test]
